@@ -1,0 +1,101 @@
+// Experiment E5 — availability under random failures (the paper's
+// central comparative claim, sections 1 and 4.1).
+//
+// Paired Monte-Carlo: identical failure schedules replayed against every
+// protocol, over a sweep of failure rates. Reported: fraction of virtual
+// time some live primary component exists, plus formed/blocked session
+// counts and (for the unsafe baselines) consistency violations.
+//
+// Expected shape (paper + [4,14,18]): dynamic voting above static
+// majority everywhere; the gap grows with the failure rate; the
+// non-blocking protocol above the blocking one; the naive protocol shows
+// high "availability" only by splitting the brain — its violation count
+// exposes the cheat.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/availability.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dynvote {
+namespace {
+
+void run_sweep(std::uint32_t n, std::size_t min_quorum, int schedules,
+               double formation_miss) {
+  std::printf(
+      "n = %u processes, Min_Quorum = %zu, %d paired schedules per cell, "
+      "formation-miss probability %.0f%%\n\n",
+      n, min_quorum, schedules, formation_miss * 100);
+
+  const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kOptimized,      ProtocolKind::kBasic,
+      ProtocolKind::kStaticMajority, ProtocolKind::kBlockingDynamic,
+      ProtocolKind::kHybridJm,       ProtocolKind::kThreePhaseRecovery,
+      ProtocolKind::kNaiveDynamic,
+  };
+
+  struct Cell {
+    SimTime gap;
+    std::vector<AvailabilityResult> results;
+  };
+  std::vector<Cell> cells;
+  for (SimTime gap : {200'000u, 80'000u, 40'000u, 20'000u}) {
+    ClusterOptions base;
+    base.n = n;
+    base.config.min_quorum = min_quorum;
+    base.formation_miss = formation_miss;
+    ScheduleOptions schedule;
+    schedule.duration = 4'000'000;
+    schedule.mean_event_gap = gap;
+    schedule.seed = 1000;  // same schedule family across gap columns
+    cells.push_back({gap, compare_protocols(kinds, base, schedule, schedules)});
+  }
+
+  std::vector<std::string> header{"protocol"};
+  for (const Cell& cell : cells) {
+    header.push_back("gap=" + std::to_string(cell.gap / 1000) + "ms");
+  }
+  header.push_back("violations");
+  header.push_back("blocked");
+
+  Table table(header);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    std::vector<std::string> row{to_string(kinds[k])};
+    std::uint64_t violations = 0;
+    std::uint64_t blocked = 0;
+    for (const Cell& cell : cells) {
+      row.push_back(format_percent(cell.results[k].availability));
+      violations += cell.results[k].violations;
+      blocked += cell.results[k].blocked_sessions;
+    }
+    row.push_back(std::to_string(violations));
+    row.push_back(std::to_string(blocked));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main() {
+  using namespace dynvote;
+  std::puts("E5: availability under random partitions/merges/crashes");
+  std::puts("    (paired schedules: every protocol faces identical failures)\n");
+  run_sweep(5, 1, 8, 0.0);
+  run_sweep(9, 1, 5, 0.0);
+  std::puts("With failures hitting quorum formation itself: on every topology");
+  std::puts("change, with probability 40% per component, one member misses the");
+  std::puts("closing round of the session (the paper's section-1 failure mode):\n");
+  run_sweep(5, 1, 8, 0.4);
+  run_sweep(9, 1, 5, 0.4);
+  std::puts("Paper expectation: dynamic voting >= static majority, with the gap");
+  std::puts("widening as failures get denser (smaller gap); non-blocking >=");
+  std::puts("blocking — decisively so once failures hit the protocol itself");
+  std::puts("(the formation-miss tables, where blocking stalls on absent");
+  std::puts("attempters); naive 'availability' is inflated by split brain —");
+  std::puts("its violation count exposes it (a correct protocol must show 0).");
+  return 0;
+}

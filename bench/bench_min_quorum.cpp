@@ -1,0 +1,123 @@
+// Experiment E8 — the Min_Quorum mechanism (paper sections 1 and 4.1).
+//
+// The criticism Min_Quorum answers: under pure dynamic voting the quorum
+// can shrink to a single process, and if that process then dies, "almost
+// all of the processes in the system are connected but cannot form a new
+// quorum". Min_Quorum = x rules out quorums below x AND guarantees any
+// component of more than n - x core members proceeds regardless of
+// history.
+//
+// Two measurements over a Min_Quorum sweep:
+//   (1) the worst case made concrete: shrink the quorum chain to one
+//       process, crash it, reconnect the other n-1;
+//   (2) Monte-Carlo availability — the trade-off curve (larger
+//       Min_Quorum sacrifices deep-shrink availability but caps the
+//       damage a tiny stale quorum can do).
+#include <cstdio>
+#include <string>
+
+#include "harness/availability.hpp"
+#include "harness/cluster.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dynvote {
+namespace {
+
+constexpr std::uint32_t kN = 5;
+
+struct ShrinkOutcome {
+  std::string deepest;   // smallest primary the chain reached
+  std::string rest_after_loss;  // do the n-1 others recover once it dies?
+};
+
+ShrinkOutcome run_shrink(std::size_t min_quorum) {
+  ClusterOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = kN;
+  options.config.min_quorum = min_quorum;
+  options.sim.seed = 80 + min_quorum;
+  Cluster cluster(options);
+  cluster.start();
+
+  // Shrink towards the top-ranked process: 5 -> 3 -> 2 -> 1, recording
+  // the smallest primary the chain ever reaches.
+  std::optional<Session> deepest = cluster.live_primary();
+  auto note_depth = [&] {
+    const auto live = cluster.live_primary();
+    if (live && (!deepest || live->members.size() < deepest->members.size())) {
+      deepest = live;
+    }
+  };
+  cluster.partition({ProcessSet::of({2, 3, 4}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  note_depth();
+  cluster.partition({ProcessSet::of({3, 4}), ProcessSet::of({2}),
+                     ProcessSet::of({0, 1})});
+  cluster.settle();
+  note_depth();
+  cluster.partition({ProcessSet::of({4}), ProcessSet::of({3}),
+                     ProcessSet::of({2}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  note_depth();
+
+  ShrinkOutcome outcome;
+  outcome.deepest = deepest ? deepest->members.to_string() : "none";
+
+  // The current quorum holder dies; everyone else reconnects.
+  cluster.crash(ProcessId(4));
+  cluster.partition({ProcessSet::of({0, 1, 2, 3})});
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  outcome.rest_after_loss = primary ? primary->members.to_string() : "STUCK";
+  return outcome;
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main() {
+  using namespace dynvote;
+  std::printf("E8: the Min_Quorum floor (n = %u)\n\n", kN);
+
+  std::puts("(1) shrink the quorum chain 5->3->2->1, then crash the holder and");
+  std::puts("    reconnect the other four:");
+  Table shrink_table({"Min_Quorum", "deepest primary", "other 4 after loss",
+                      "always-safe size (> n - Min_Quorum)"});
+  for (std::size_t min_quorum : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    const auto outcome = run_shrink(min_quorum);
+    shrink_table.add_row({std::to_string(min_quorum), outcome.deepest,
+                          outcome.rest_after_loss,
+                          ">= " + std::to_string(kN - min_quorum + 1)});
+  }
+  std::printf("%s\n", shrink_table.to_string().c_str());
+
+  std::puts("(2) Monte-Carlo availability vs Min_Quorum (paired schedules):");
+  Table avail_table({"Min_Quorum", "gap=120ms", "gap=50ms", "gap=25ms"});
+  for (std::size_t min_quorum : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<std::string> row{std::to_string(min_quorum)};
+    for (SimTime gap : {120'000u, 50'000u, 25'000u}) {
+      ClusterOptions base;
+      base.n = kN;
+      base.config.min_quorum = min_quorum;
+      ScheduleOptions schedule;
+      schedule.duration = 4'000'000;
+      schedule.mean_event_gap = gap;
+      schedule.seed = 8000 + gap;
+      const auto results = compare_protocols({ProtocolKind::kOptimized}, base,
+                                             schedule, 5);
+      row.push_back(format_percent(results[0].availability));
+    }
+    avail_table.add_row(row);
+  }
+  std::printf("%s\n", avail_table.to_string().c_str());
+
+  std::puts("Paper expectation: with Min_Quorum = 1 the chain reaches a single");
+  std::puts("process and its loss strands the other four (the dynamic-voting");
+  std::puts("criticism); Min_Quorum = 2 stops the shrink at two members and a");
+  std::puts("component of > n-2 = 3 core members always proceeds. The");
+  std::puts("availability sweep shows the trade-off is schedule-dependent —");
+  std::puts("the floor costs some availability in deep-partition regimes and");
+  std::puts("buys it back whenever small quorums would have died.");
+  return 0;
+}

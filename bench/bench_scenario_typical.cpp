@@ -1,0 +1,115 @@
+// Experiment E1 — the typical problematic scenario (paper sections 1 and
+// 4.5).
+//
+// Five processes a..e (= p0..p4). The network splits {a,b,c} | {d,e};
+// a and b complete the {a,b,c} session while c detaches before receiving
+// the last message; then a,b continue alone and c joins d,e.
+//
+// Expected shape (paper): the naive protocol class ends with TWO live
+// quorums ({a,b} and {c,d,e}); the paper's protocols end with exactly
+// one ({a,b}), because c recorded the ambiguous {a,b,c} attempt.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dv/centralized_protocol.hpp"
+#include "harness/cluster.hpp"
+#include "harness/scenario.hpp"
+#include "util/table.hpp"
+
+namespace dynvote {
+namespace {
+
+struct Outcome {
+  ProtocolKind kind;
+  std::string live;
+  std::size_t live_quorums = 0;
+  std::size_t split_brain = 0;
+  bool c_recorded_attempt = false;
+};
+
+Outcome run(ProtocolKind kind) {
+  ClusterOptions options;
+  options.kind = kind;
+  options.n = 5;
+  options.sim.seed = 2026;
+  Cluster cluster(options);
+
+  FaultInjector faults(cluster.sim().network());
+  // c misses the closing messages of the {a,b,c} session. For the
+  // two-round protocols that is the attempt round; for the one-round
+  // naive protocol it is the info exchange itself.
+  std::string closing = "dv.attempt";
+  int copies = 2;
+  if (kind == ProtocolKind::kNaiveDynamic) closing = "dv.info";
+  if (kind == ProtocolKind::kCentralized) {
+    closing = "dvc.commit";  // the centralized session's closing message
+    copies = 1;
+  }
+  faults.drop_to(ProcessId(2), closing, copies);
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  faults.clear();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3, 4})});
+  cluster.settle();
+
+  Outcome outcome;
+  outcome.kind = kind;
+  std::vector<Session> live;
+  for (const auto& [p, session] : cluster.checker().live_primaries()) {
+    bool known = false;
+    for (const auto& s : live) known |= (s == session);
+    if (!known) live.push_back(session);
+  }
+  outcome.live_quorums = live.size();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (i != 0) outcome.live += " + ";
+    outcome.live += live[i].members.to_string();
+  }
+  if (live.empty()) outcome.live = "none";
+  for (const auto& v : cluster.checker().check_all()) {
+    if (v.kind == "split-brain") ++outcome.split_brain;
+  }
+  const ProtocolState* c_state = nullptr;
+  if (auto* dv = dynamic_cast<BasicDvProtocol*>(&cluster.protocol(ProcessId(2)))) {
+    c_state = &dv->state();
+  } else if (auto* cent = dynamic_cast<CentralizedDvProtocol*>(
+                 &cluster.protocol(ProcessId(2)))) {
+    c_state = &cent->state();
+  }
+  if (c_state != nullptr) {
+    for (const auto& amb : c_state->ambiguous) {
+      outcome.c_recorded_attempt |=
+          amb.session.members == ProcessSet::of({0, 1, 2});
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main() {
+  using namespace dynvote;
+  std::puts("E1: the typical problematic scenario (paper sections 1, 4.5)");
+  std::puts("    split {a,b,c}|{d,e}; c misses the last message; then {a,b}|{c,d,e}\n");
+
+  Table table({"protocol", "live quorums", "count", "split-brain",
+               "c holds {a,b,c}?"});
+  for (ProtocolKind kind :
+       {ProtocolKind::kNaiveDynamic, ProtocolKind::kLastAttemptOnly,
+        ProtocolKind::kBasic, ProtocolKind::kOptimized,
+        ProtocolKind::kCentralized, ProtocolKind::kBlockingDynamic,
+        ProtocolKind::kThreePhaseRecovery}) {
+    const auto outcome = run(kind);
+    table.add_row({to_string(kind), outcome.live,
+                   std::to_string(outcome.live_quorums),
+                   outcome.split_brain > 0 ? "VIOLATED" : "ok",
+                   outcome.c_recorded_attempt ? "yes" : "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::puts("Paper expectation: naive class -> two live quorums (inconsistent);");
+  std::puts("the paper's protocols -> exactly {p0,p1}, with c's ambiguous record");
+  std::puts("of {p0,p1,p2} blocking {p2,p3,p4}.");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "baselines/blocking_dynamic.hpp"
+
+namespace dynvote {
+
+Eligibility BlockingDynamicProtocol::decide(const QuorumCalculus& calc,
+                                            const StepAggregates& agg,
+                                            const ProcessSet& M) const {
+  const Eligibility base = evaluate_eligibility(calc, agg, M);
+  if (!base.eligible) return base;
+  // 2PC-style recovery: an unresolved attempt blocks until ALL its
+  // members are back — not merely a majority of them.
+  for (const Session& attempt : agg.max_ambiguous) {
+    if (!attempt.members.is_subset_of(M)) {
+      return {false, "blocked: attempt " + attempt.to_string() +
+                         " unresolved and not all its members reconnected"};
+    }
+  }
+  return base;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,33 @@
+// Baseline: blocking dynamic voting (the [Jajodia-Mutchler 90] /
+// [Amir 95] class, per the paper's introduction).
+//
+// These protocols avoid the inconsistency of naive dynamic voting with a
+// Two-Phase-Commit-style installation: a process whose latest quorum
+// attempt is unresolved ("uncertain") must wait until EVERY member of
+// that attempt is reconnected before it can take part in a new quorum.
+//
+// This is consistent but blocking: after a failure during quorum
+// formation, a majority of the attempters is not enough — one crashed
+// attempter stalls everyone (and one voluntary leaver stalls the whole
+// system, as the paper notes). Our protocol in contrast proceeds with
+// any Sub_Quorum of the attempt. Experiments E5/E6 quantify the gap.
+//
+// Implementation: the basic protocol with the attempt constraint
+// strengthened from Sub_Quorum(A, M) to A.M ⊆ M.
+#pragma once
+
+#include "dv/basic_protocol.hpp"
+
+namespace dynvote {
+
+class BlockingDynamicProtocol : public BasicDvProtocol {
+ public:
+  using BasicDvProtocol::BasicDvProtocol;
+
+ protected:
+  [[nodiscard]] Eligibility decide(const QuorumCalculus& calc,
+                                   const StepAggregates& agg,
+                                   const ProcessSet& M) const override;
+};
+
+}  // namespace dynvote

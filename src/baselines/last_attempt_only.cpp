@@ -1,0 +1,5 @@
+#include "baselines/last_attempt_only.hpp"
+
+// Header-only adapter over BasicDvProtocol; this translation unit anchors
+// the target in the build so the library exposes one object per baseline.
+namespace dynvote {}

@@ -1,0 +1,225 @@
+#include "dv/basic_protocol.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+namespace {
+
+constexpr const char* kStateKey = "dv.state";
+
+}  // namespace
+
+InfoBySender as_infos(const SessionProtocolBase::PhaseMessages& messages) {
+  InfoBySender infos;
+  for (const auto& [from, payload] : messages) {
+    const auto* info = dynamic_cast<const InfoPayload*>(payload.get());
+    ensure(info != nullptr, "phase-0 message is not an InfoPayload");
+    infos.emplace(from, info);
+  }
+  return infos;
+}
+
+StepAggregates aggregate_step1(const InfoBySender& infos) {
+  StepAggregates agg;
+  agg.max_session = kNoSessionNumber;
+  for (const auto& [from, info] : infos) {
+    agg.max_session = std::max(agg.max_session, info->session_number);
+    if (info->last_primary) {
+      // Pick the max-numbered last primary. Formed sessions have unique
+      // numbers (paper Lemma 10), but a deliberately broken baseline can
+      // report two different sessions with one number; break the tie on
+      // membership so all members still agree.
+      if (!agg.max_primary ||
+          info->last_primary->number > agg.max_primary->number ||
+          (info->last_primary->number == agg.max_primary->number &&
+           info->last_primary->members < agg.max_primary->members)) {
+        agg.max_primary = info->last_primary;
+      }
+    }
+  }
+  const SessionNumber floor =
+      agg.max_primary ? agg.max_primary->number : kNoSessionNumber;
+  std::set<Session> distinct;
+  for (const auto& [from, info] : infos) {
+    for (const Session& attempt : info->ambiguous) {
+      if (attempt.number > floor) distinct.insert(attempt);
+    }
+  }
+  agg.max_ambiguous.assign(distinct.begin(), distinct.end());
+  return agg;
+}
+
+Eligibility evaluate_eligibility(const QuorumCalculus& calc,
+                                 const StepAggregates& agg,
+                                 const ProcessSet& M) {
+  if (!calc.meets_min_quorum(M)) {
+    return {false, "only " + std::to_string(M.intersection_size(calc.admitted())) +
+                       " of W present, Min_Quorum=" +
+                       std::to_string(calc.min_quorum())};
+  }
+  // The unconditional clause (|M ∩ WA| > |WA| − Min_Quorum) is evaluated
+  // inside sub_quorum for each recorded session; Sub_Quorum(∞, M) stays
+  // FALSE by the paper's definition, so a group in which nobody knows any
+  // primary can never form one, however large.
+  if (!agg.max_primary) {
+    return {false, "Max_Primary = (∞,-1): no member knows a primary"};
+  }
+  if (!calc.sub_quorum(agg.max_primary->members, M)) {
+    return {false, "not a sub-quorum of Max_Primary " +
+                       agg.max_primary->to_string()};
+  }
+  for (const Session& attempt : agg.max_ambiguous) {
+    if (!calc.sub_quorum(attempt.members, M)) {
+      return {false,
+              "not a sub-quorum of ambiguous attempt " + attempt.to_string()};
+    }
+  }
+  return {true, "sub-quorum of Max_Primary and all ambiguous attempts"};
+}
+
+BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
+                                 DvConfig config)
+    : BasicDvProtocol(sim, id, std::move(config), /*max_phases=*/2) {}
+
+BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
+                                 DvConfig config, int max_phases)
+    : SessionProtocolBase(sim, id, max_phases),
+      state_(ProtocolState::initial(config.core, id)),
+      config_(std::move(config)) {
+  // Durable from birth: a crash before the first session must not erase
+  // the fact that a core member once knew (W0, 0).
+  persist();
+}
+
+void BasicDvProtocol::persist() {
+  Encoder enc;
+  state_.encode(enc);
+  storage().put(kStateKey, std::move(enc).take());
+}
+
+void BasicDvProtocol::handle_recover() {
+  const auto bytes = storage().get(kStateKey);
+  if (bytes) {
+    Decoder dec(*bytes);
+    state_ = ProtocolState::decode(dec);
+  } else {
+    // The constructor persisted the initial state, so an empty store
+    // means the disk was destroyed (paper footnote 4): come back with
+    // Last_Primary = (∞,-1) and no trustworthy history.
+    state_ = ProtocolState::after_disk_loss(id());
+    persist();
+  }
+}
+
+QuorumCalculus BasicDvProtocol::make_calculus() const {
+  if (config_.dynamic_participants) {
+    return QuorumCalculus(state_.participants.admitted(),
+                          state_.participants.all_participants(),
+                          config_.min_quorum, config_.linear_tie_break);
+  }
+  return QuorumCalculus(config_.core, config_.min_quorum,
+                        config_.linear_tie_break);
+}
+
+void BasicDvProtocol::begin_session(const View& view) {
+  (void)view;
+  auto info = std::make_shared<InfoPayload>();
+  info->session_number = state_.session_number;
+  info->has_history = state_.has_history;
+  info->last_primary = state_.last_primary;
+  info->ambiguous.reserve(state_.ambiguous.size());
+  for (const auto& a : state_.ambiguous) info->ambiguous.push_back(a.session);
+  if (sends_last_formed()) info->last_formed = state_.last_formed;
+  if (config_.dynamic_participants) info->participants = state_.participants;
+  send_phase(0, std::move(info));
+}
+
+void BasicDvProtocol::on_phase_complete(int phase,
+                                        const PhaseMessages& messages) {
+  if (phase == 0) {
+    if (run_decision(messages)) record_and_send_attempt(1);
+  } else {
+    run_form_step(messages);
+  }
+}
+
+Eligibility BasicDvProtocol::decide(const QuorumCalculus& calc,
+                                    const StepAggregates& agg,
+                                    const ProcessSet& M) const {
+  return evaluate_eligibility(calc, agg, M);
+}
+
+Session BasicDvProtocol::make_formed_record(const Session& actual) const {
+  return actual;
+}
+
+bool BasicDvProtocol::run_decision(const PhaseMessages& messages) {
+  const ProcessSet& M = session_view().members;
+  const InfoBySender infos = as_infos(messages);
+
+  // Optimized protocol: learning + resolution (garbage collection).
+  pre_decision_update(infos);
+
+  // Section 6: merge the W / A participant sets before evaluating the
+  // quorum requirement. All members merge the same messages, so all use
+  // the same calculus (paper Lemma 13).
+  if (config_.dynamic_participants) {
+    std::vector<const ParticipantTracker*> peers;
+    peers.reserve(infos.size());
+    for (const auto& [from, info] : infos) peers.push_back(&info->participants);
+    state_.participants.merge_attempt_step(peers);
+  }
+
+  pending_agg_ = aggregate_step1(infos);
+  const Eligibility verdict = decide(make_calculus(), pending_agg_, M);
+  if (!verdict.eligible) {
+    persist();  // learning / participant merges must still survive
+    abort_session(verdict.reason);
+    return false;
+  }
+  return true;
+}
+
+void BasicDvProtocol::record_and_send_attempt(int phase) {
+  state_.session_number = pending_agg_.max_session + 1;
+  const Session session{session_view().members, state_.session_number};
+  state_.record_attempt(session, id());
+  if (config_.ambiguous_record_limit != 0 &&
+      state_.ambiguous.size() > config_.ambiguous_record_limit) {
+    // Deliberately unsound truncation — see DvConfig::ambiguous_record_limit.
+    state_.ambiguous.erase(
+        state_.ambiguous.begin(),
+        state_.ambiguous.end() -
+            static_cast<std::ptrdiff_t>(config_.ambiguous_record_limit));
+  }
+  max_ambiguous_recorded_ =
+      std::max(max_ambiguous_recorded_, state_.ambiguous.size());
+  persist();
+  notify_attempt(session);
+  log(LogLevel::kDebug, "attempts " + session.to_string());
+
+  auto attempt = std::make_shared<AttemptPayload>(phase);
+  attempt->session_number = state_.session_number;
+  send_phase(phase, std::move(attempt));
+}
+
+void BasicDvProtocol::run_form_step(const PhaseMessages& messages) {
+  // Sanity: all members attempted the same session (paper Lemma 4).
+  for (const auto& [from, payload] : messages) {
+    const auto* attempt = dynamic_cast<const AttemptPayload*>(payload.get());
+    ensure(attempt != nullptr, "form-step message is not an AttemptPayload");
+    ensure(attempt->session_number == state_.session_number,
+           "attempt session number mismatch (Lemma 4 violated)");
+  }
+  const Session actual{session_view().members, state_.session_number};
+  state_.apply_form(make_formed_record(actual));
+  persist();
+  mark_primary(actual);
+}
+
+}  // namespace dynvote

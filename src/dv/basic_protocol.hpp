@@ -1,0 +1,162 @@
+// The basic dynamic-voting protocol (paper section 4, figure 1).
+//
+// One session per membership view, two communication rounds:
+//
+//   step 1  broadcast Session_Number, Last_Primary, Ambiguous_Sessions;
+//   step 2  (attempt) on receiving step-1 from ALL members: compute
+//           Max_Session / Max_Primary / Max_Ambiguous_Sessions; if the
+//           view is a Sub_Quorum of Max_Primary and of every ambiguous
+//           attempt since, record the attempt durably and broadcast it;
+//           otherwise abort the session;
+//   step 3  (form) on receiving attempt from ALL members: the view is the
+//           new primary component.
+//
+// The ambiguous-session record is the paper's key idea: if p forms S,
+// every member of S recorded S as an attempt first, so any member that
+// detached before forming will still hold S against future quorums.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dv/protocol_base.hpp"
+#include "dv/state.hpp"
+#include "quorum/sub_quorum.hpp"
+
+namespace dynvote {
+
+/// Configuration shared by the dynamic-voting protocol family.
+struct DvConfig {
+  /// The fixed core group W0 (paper section 3).
+  ProcessSet core;
+
+  /// Min_Quorum: minimum number of admitted participants in any quorum
+  /// (paper section 4.1). 1 = plain dynamic linear voting.
+  std::size_t min_quorum = 1;
+
+  /// Enables the dynamically-changing quorum requirements of paper
+  /// section 6 (the W / A participant sets).
+  bool dynamic_participants = false;
+
+  /// Dynamic *linear* voting's tie-break on equal halves (paper 4.1,
+  /// from [12]). Disabling it degrades to plain dynamic voting; the
+  /// ablation bench quantifies the availability cost.
+  bool linear_tie_break = true;
+
+  /// Cap on how many ambiguous sessions are *kept* (0 = unlimited).
+  /// The paper proves any finite cap breaks consistency (section 4.6);
+  /// the LastAttemptOnly baseline sets 1 to reproduce exactly that.
+  std::size_t ambiguous_record_limit = 0;
+};
+
+/// The values computed at the start of the attempt step (paper 4.3).
+struct StepAggregates {
+  SessionNumber max_session = 0;
+  std::optional<Session> max_primary;
+  /// Attempts with number > Max_Primary.N, union over all members,
+  /// deduplicated by (membership, number).
+  std::vector<Session> max_ambiguous;
+};
+
+/// Step-1 messages keyed by sender.
+using InfoBySender = std::map<ProcessId, const InfoPayload*>;
+
+/// Computes Max_Session, Max_Primary and Max_Ambiguous_Sessions from the
+/// step-1 messages. Deterministic: every member computes identical
+/// aggregates from the identical message set.
+[[nodiscard]] StepAggregates aggregate_step1(const InfoBySender& infos);
+
+struct Eligibility {
+  bool eligible = false;
+  std::string reason;  // human-readable, used in traces and reject events
+};
+
+/// The attempt-step decision (paper figure 1 step 2, extended with the
+/// section-6 unconditional clause): is membership M an eligible quorum?
+[[nodiscard]] Eligibility evaluate_eligibility(const QuorumCalculus& calc,
+                                               const StepAggregates& agg,
+                                               const ProcessSet& M);
+
+class BasicDvProtocol : public SessionProtocolBase {
+ public:
+  BasicDvProtocol(sim::Simulator& sim, ProcessId id, DvConfig config);
+
+  [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }
+  [[nodiscard]] const DvConfig& config() const noexcept { return config_; }
+
+  /// High-water mark of |Ambiguous_Sessions| ever recorded — the metric
+  /// of experiment E3 (exponential without GC, linear with).
+  [[nodiscard]] std::size_t max_ambiguous_recorded() const noexcept {
+    return max_ambiguous_recorded_;
+  }
+
+ protected:
+  /// For subclasses with extra rounds (the three-phase-recovery
+  /// baseline): `max_phases` broadcast rounds, form on the last.
+  BasicDvProtocol(sim::Simulator& sim, ProcessId id, DvConfig config,
+                  int max_phases);
+
+  void begin_session(const View& view) override;
+  void on_phase_complete(int phase, const PhaseMessages& messages) override;
+  void handle_recover() override;
+
+  /// Optimized protocol: include Last_Formed in step-1 messages.
+  [[nodiscard]] virtual bool sends_last_formed() const { return false; }
+
+  /// Optimized protocol: learning + resolution rules, applied to own
+  /// state before the aggregates are computed (paper figure 3 step 2).
+  virtual void pre_decision_update(const InfoBySender& /*infos*/) {}
+
+  /// The eligibility decision; baselines with different quorum rules
+  /// (blocking, hybrid) override this.
+  [[nodiscard]] virtual Eligibility decide(const QuorumCalculus& calc,
+                                           const StepAggregates& agg,
+                                           const ProcessSet& M) const;
+
+  /// How the formed session is recorded in Last_Primary. The hybrid
+  /// baseline pins the recorded quorum at a floor of three members.
+  [[nodiscard]] virtual Session make_formed_record(const Session& actual) const;
+
+  // -- step building blocks, shared with multi-round baselines --------------
+
+  /// Runs the attempt-step computation (learning, participant merge,
+  /// aggregates, decision). On rejection, persists and aborts the
+  /// session. Stores the aggregates for record_and_send_attempt.
+  [[nodiscard]] bool run_decision(const PhaseMessages& messages);
+
+  /// Records the attempt durably and broadcasts it as phase `phase`.
+  void record_and_send_attempt(int phase);
+
+  /// The form step: validates attempt messages, adopts the new primary.
+  void run_form_step(const PhaseMessages& messages);
+
+  /// Builds the QuorumCalculus for this attempt step (after the
+  /// participant sets were merged).
+  [[nodiscard]] QuorumCalculus make_calculus() const;
+
+  /// The aggregates computed by the last run_decision of this session —
+  /// identical at every member (they fold the same message set).
+  [[nodiscard]] const StepAggregates& pending_aggregates() const noexcept {
+    return pending_agg_;
+  }
+
+  /// Encodes state_ to stable storage. Called before every send that
+  /// exposes a state change (paper section 4.4).
+  void persist();
+
+  ProtocolState state_;
+  DvConfig config_;
+
+ private:
+  StepAggregates pending_agg_;
+  std::size_t max_ambiguous_recorded_ = 0;
+};
+
+/// Downcasts a phase bucket to InfoPayloads (phase 0 of the dv family).
+[[nodiscard]] InfoBySender as_infos(
+    const SessionProtocolBase::PhaseMessages& messages);
+
+}  // namespace dynvote

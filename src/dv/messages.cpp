@@ -1,0 +1,37 @@
+#include "dv/messages.hpp"
+
+namespace dynvote {
+
+void InfoPayload::encode(Encoder& enc) const {
+  enc.put_i64(session_number);
+  enc.put_bool(has_history);
+  encode_optional_session(enc, last_primary);
+  enc.put_varint(ambiguous.size());
+  for (const Session& s : ambiguous) s.encode(enc);
+  enc.put_varint(last_formed.size());
+  for (const auto& [q, session] : last_formed) {
+    enc.put_process_id(q);
+    session.encode(enc);
+  }
+  participants.encode(enc);
+}
+
+std::size_t InfoPayload::encoded_size() const {
+  Encoder enc;
+  encode(enc);
+  return enc.size();
+}
+
+std::size_t AttemptPayload::encoded_size() const {
+  Encoder enc;
+  enc.put_i64(session_number);
+  return enc.size();
+}
+
+std::size_t RoundPayload::encoded_size() const {
+  // A phase tag and a session stamp: the resolution rounds of the
+  // three-phase baseline carry only votes/acknowledgements.
+  return 9;
+}
+
+}  // namespace dynvote

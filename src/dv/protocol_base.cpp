@@ -1,0 +1,95 @@
+#include "dv/protocol_base.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+SessionProtocolBase::SessionProtocolBase(sim::Simulator& sim, ProcessId id,
+                                         int max_phases)
+    : ProtocolNode(sim, id), max_phases_(max_phases) {
+  ensure(max_phases_ >= 0, "negative phase count");
+}
+
+void SessionProtocolBase::on_view(const View& view) {
+  // "Set Is_Primary to FALSE" — step 1 of every session (paper fig. 1).
+  leave_primary();
+  session_active_ = true;
+  session_view_ = view;
+  current_phase_ = -1;
+  rounds_used_ = 0;
+  collected_.assign(static_cast<std::size_t>(max_phases_), PhaseMessages{});
+  notify_view_installed(view);
+  begin_session(view);
+}
+
+void SessionProtocolBase::on_message(ProcessId from,
+                                     const sim::PayloadPtr& payload) {
+  if (!session_active_) return;  // session already ended within this view
+  auto phased = std::dynamic_pointer_cast<const PhasedPayload>(payload);
+  ensure(phased != nullptr, "non-phased payload delivered to protocol");
+  const int phase = phased->phase();
+  ensure(phase >= 0 && phase < max_phases_, "phase out of range");
+  ensure(session_view_->members.contains(from), "message from non-member");
+  // FIFO channels + view gating mean no duplicates; a phase ahead of ours
+  // simply waits in its bucket.
+  auto [it, inserted] =
+      collected_[static_cast<std::size_t>(phase)].emplace(from, std::move(phased));
+  ensure(inserted, "duplicate phase message");
+  try_complete_phase();
+}
+
+void SessionProtocolBase::try_complete_phase() {
+  if (in_completion_) return;  // re-entrancy guard: loop below handles it
+  in_completion_ = true;
+  while (session_active_ && current_phase_ >= 0 &&
+         current_phase_ < max_phases_ &&
+         collected_[static_cast<std::size_t>(current_phase_)].size() ==
+             session_view_->members.size()) {
+    const int phase = current_phase_;
+    on_phase_complete(phase, collected_[static_cast<std::size_t>(phase)]);
+    if (current_phase_ == phase) break;  // derived didn't advance: done
+  }
+  in_completion_ = false;
+}
+
+void SessionProtocolBase::send_phase(
+    int phase, std::shared_ptr<const PhasedPayload> payload) {
+  ensure(session_active_, "send_phase outside an active session");
+  ensure(payload && payload->phase() == phase, "payload/phase mismatch");
+  ensure(phase == current_phase_ + 1, "phases must advance one at a time");
+  current_phase_ = phase;
+  ++rounds_used_;
+  broadcast(std::move(payload));
+  try_complete_phase();
+}
+
+void SessionProtocolBase::mark_primary(const Session& session) {
+  ensure(session_active_, "mark_primary outside an active session");
+  session_active_ = false;
+  enter_primary(session, rounds_used_);
+}
+
+void SessionProtocolBase::abort_session(const std::string& reason) {
+  ensure(session_active_, "abort_session outside an active session");
+  session_active_ = false;
+  log(LogLevel::kDebug, "session aborted: " + reason);
+  notify_rejected(*session_view_, reason);
+}
+
+const View& SessionProtocolBase::session_view() const {
+  ensure(session_view_.has_value(), "no session view");
+  return *session_view_;
+}
+
+void SessionProtocolBase::on_crash() {
+  leave_primary();
+  session_active_ = false;
+  session_view_.reset();
+  collected_.clear();
+  handle_crash();
+}
+
+void SessionProtocolBase::on_recover() { handle_recover(); }
+
+}  // namespace dynvote

@@ -1,0 +1,85 @@
+// ProtocolNode: the common face of every protocol implementation.
+//
+// Both protocol shapes in the library — the symmetric phase-broadcast
+// protocols (SessionProtocolBase) and the coordinator-based centralized
+// variant — expose the same surface: Is_Primary state, the current
+// primary session, and observer/listener wiring. The harness, the
+// service facade and the applications depend only on this class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dv/observer.hpp"
+#include "dv/session.hpp"
+#include "membership/view.hpp"
+#include "sim/node.hpp"
+
+namespace dynvote {
+
+class ProtocolNode : public sim::Node {
+ public:
+  ProtocolNode(sim::Simulator& sim, ProcessId id) : sim::Node(sim, id) {}
+
+  void set_observer(ProtocolObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  void set_primary_listener(PrimaryListener* listener) noexcept {
+    listener_ = listener;
+  }
+
+  /// Is_Primary: true iff this process's current membership is the
+  /// primary component.
+  [[nodiscard]] bool is_primary() const noexcept { return primary_.has_value(); }
+
+  /// The session of the primary component this process is currently in.
+  [[nodiscard]] const std::optional<Session>& primary_session() const noexcept {
+    return primary_;
+  }
+
+  /// Number of sessions this node formed over its lifetime.
+  [[nodiscard]] std::uint64_t formed_count() const noexcept {
+    return formed_count_;
+  }
+
+ protected:
+  /// Records entry into a freshly formed primary and notifies the
+  /// observer (with the session's communication-round count) and the
+  /// application listener.
+  void enter_primary(const Session& session, int rounds) {
+    primary_ = session;
+    ++formed_count_;
+    log(LogLevel::kInfo, "FORMED primary " + session.to_string());
+    if (observer_) observer_->on_formed(now(), id(), session, rounds);
+    if (listener_) listener_->on_primary_formed(session);
+  }
+
+  /// Reports loss of primary status (view change / crash) exactly once.
+  void leave_primary() {
+    if (!primary_) return;
+    primary_.reset();
+    if (observer_) observer_->on_primary_lost(now(), id());
+    if (listener_) listener_->on_primary_lost();
+  }
+
+  void notify_view_installed(const View& view) {
+    if (observer_) observer_->on_view_installed(now(), id(), view);
+  }
+  void notify_attempt(const Session& session) {
+    if (observer_) observer_->on_attempt(now(), id(), session);
+  }
+  void notify_rejected(const View& view, const std::string& reason) {
+    if (observer_) observer_->on_session_rejected(now(), id(), view, reason);
+  }
+
+  [[nodiscard]] ProtocolObserver* observer() const noexcept { return observer_; }
+
+ private:
+  ProtocolObserver* observer_ = nullptr;
+  PrimaryListener* listener_ = nullptr;
+  std::optional<Session> primary_;
+  std::uint64_t formed_count_ = 0;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,144 @@
+#include "dv/state.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+ProtocolState ProtocolState::initial(const ProcessSet& core, ProcessId self) {
+  ProtocolState state;
+  state.participants = ParticipantTracker::initial(core, self);
+  if (core.contains(self)) {
+    state.session_number = 0;
+    state.last_primary = Session{core, 0};
+    for (ProcessId q : core) state.last_formed.emplace(q, *state.last_primary);
+  } else {
+    state.session_number = 0;
+    state.last_primary = std::nullopt;  // (∞, -1)
+  }
+  return state;
+}
+
+ProtocolState ProtocolState::after_disk_loss(ProcessId self) {
+  ProtocolState state;
+  state.participants = ParticipantTracker::initial(ProcessSet{}, self);
+  state.last_primary = std::nullopt;
+  state.has_history = false;
+  return state;
+}
+
+AmbiguousSession* ProtocolState::find_ambiguous(SessionNumber number) {
+  for (auto& a : ambiguous) {
+    if (a.session.number == number) return &a;
+  }
+  return nullptr;
+}
+
+const AmbiguousSession* ProtocolState::find_ambiguous(
+    SessionNumber number) const {
+  for (const auto& a : ambiguous) {
+    if (a.session.number == number) return &a;
+  }
+  return nullptr;
+}
+
+void ProtocolState::record_attempt(const Session& session, ProcessId self) {
+  ensure(session.members.contains(self), "attempting a session we're not in");
+  ensure(session.number > last_primary_number(),
+         "attempt number must exceed last primary's");
+  // "If Ambiguous_Sessions already contains an attempt with the same
+  // membership, overwrite it" (paper figure 1, step 2).
+  std::erase_if(ambiguous, [&](const AmbiguousSession& a) {
+    return a.session.members == session.members;
+  });
+  ambiguous.emplace_back(session, self);
+  std::sort(ambiguous.begin(), ambiguous.end(),
+            [](const AmbiguousSession& a, const AmbiguousSession& b) {
+              return a.session.number < b.session.number;
+            });
+}
+
+void ProtocolState::apply_form(const Session& session) {
+  last_primary = session;
+  ambiguous.clear();
+  for (ProcessId q : session.members) last_formed[q] = session;
+  participants.admit_on_form(session.members);
+}
+
+void ProtocolState::adopt_formed(const Session& session) {
+  ensure(session.number > last_primary_number(),
+         "adopting a session older than Last_Primary");
+  last_primary = session;
+  for (ProcessId q : session.members) last_formed[q] = session;
+  // Resolution rule 2: every ambiguous session with a number <= the
+  // formed one is superseded ("p behaves as if it also formed F").
+  std::erase_if(ambiguous, [&](const AmbiguousSession& a) {
+    return a.session.number <= session.number;
+  });
+}
+
+namespace {
+// Bump when the persistent layout changes; decode rejects other versions
+// instead of misreading old disks.
+constexpr std::uint8_t kStateFormatVersion = 1;
+}  // namespace
+
+void ProtocolState::encode(Encoder& enc) const {
+  enc.put_u8(kStateFormatVersion);
+  enc.put_i64(session_number);
+  encode_optional_session(enc, last_primary);
+  enc.put_varint(ambiguous.size());
+  for (const auto& a : ambiguous) a.encode(enc);
+  enc.put_varint(last_formed.size());
+  for (const auto& [q, session] : last_formed) {
+    enc.put_process_id(q);
+    session.encode(enc);
+  }
+  participants.encode(enc);
+  enc.put_bool(has_history);
+}
+
+ProtocolState ProtocolState::decode(Decoder& dec) {
+  if (dec.get_u8() != kStateFormatVersion) {
+    throw CodecError("unsupported protocol-state format version");
+  }
+  ProtocolState state;
+  state.session_number = dec.get_i64();
+  state.last_primary = decode_optional_session(dec);
+  const std::uint64_t n_ambiguous = dec.get_varint();
+  // Every entry needs at least one byte: a length prefix beyond the
+  // remaining buffer is malformed (and must not drive a huge reserve).
+  if (n_ambiguous > dec.remaining()) {
+    throw CodecError("ambiguous-session count prefix too large");
+  }
+  state.ambiguous.reserve(n_ambiguous);
+  for (std::uint64_t i = 0; i < n_ambiguous; ++i) {
+    state.ambiguous.push_back(AmbiguousSession::decode(dec));
+  }
+  const std::uint64_t n_formed = dec.get_varint();
+  if (n_formed > dec.remaining()) {
+    throw CodecError("last-formed count prefix too large");
+  }
+  for (std::uint64_t i = 0; i < n_formed; ++i) {
+    ProcessId q = dec.get_process_id();
+    state.last_formed.emplace(q, Session::decode(dec));
+  }
+  state.participants = ParticipantTracker::decode(dec);
+  state.has_history = dec.get_bool();
+  return state;
+}
+
+std::string ProtocolState::to_string() const {
+  std::string out = "sn=" + std::to_string(session_number) +
+                    " lp=" + dynvote::to_string(last_primary) + " amb=[";
+  for (std::size_t i = 0; i < ambiguous.size(); ++i) {
+    if (i != 0) out += " ";
+    out += ambiguous[i].to_string();
+  }
+  out += "] " + participants.to_string();
+  if (!has_history) out += " (no-history)";
+  return out;
+}
+
+}  // namespace dynvote

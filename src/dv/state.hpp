@@ -1,0 +1,91 @@
+// Persistent per-process protocol state (paper sections 4.2, 5.1, 6).
+//
+// Everything here except Is_Primary must survive crashes: the protocol
+// writes the encoded state to stable storage before sending any message
+// that depends on it (paper section 4.4). Is_Primary is volatile by
+// definition — a recovering process is never primary until it forms a
+// new session.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dv/session.hpp"
+#include "quorum/participants.hpp"
+#include "util/codec.hpp"
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote {
+
+struct ProtocolState {
+  /// Session_Number: monotonically increasing (paper Lemma 1/3).
+  SessionNumber session_number = 0;
+
+  /// Last_Primary: the last session this process formed. nullopt encodes
+  /// the paper's (∞, -1) — no primary known; Sub_Quorum(∞, T) is FALSE.
+  std::optional<Session> last_primary;
+
+  /// Ambiguous_Sessions: attempts made after last_primary, ascending by
+  /// session number. At most one entry per distinct membership (a later
+  /// attempt with the same membership overwrites the earlier).
+  std::vector<AmbiguousSession> ambiguous;
+
+  /// Last_Formed(q): the last session this process formed that q was a
+  /// member of (optimized protocol, paper 5.1).
+  std::map<ProcessId, Session> last_formed;
+
+  /// W / A participant sets (paper section 6). Maintained by every
+  /// protocol variant; only consulted when dynamic participants are
+  /// enabled.
+  ParticipantTracker participants;
+
+  /// False after recovering from a destroyed disk: this process's
+  /// negative statements ("I did not form S") can no longer be trusted
+  /// by peers' learning rules, so it advertises itself as history-less.
+  bool has_history = true;
+
+  /// Initial state (paper 4.2): core members start with
+  /// Last_Primary = (W0, 0), everyone else with (∞, -1).
+  [[nodiscard]] static ProtocolState initial(const ProcessSet& core,
+                                             ProcessId self);
+
+  /// State after recovery from a destroyed disk (paper footnote 4).
+  [[nodiscard]] static ProtocolState after_disk_loss(ProcessId self);
+
+  [[nodiscard]] SessionNumber last_primary_number() const noexcept {
+    return last_primary ? last_primary->number : kNoSessionNumber;
+  }
+
+  /// Finds the recorded ambiguous session with the given number, if any.
+  /// Session numbers are unique within one process's list (Lemma 1).
+  [[nodiscard]] AmbiguousSession* find_ambiguous(SessionNumber number);
+  [[nodiscard]] const AmbiguousSession* find_ambiguous(
+      SessionNumber number) const;
+
+  /// Records an attempt (paper figure 1 / figure 3, step 2): appends
+  /// (members, number), overwriting an existing attempt with the same
+  /// membership, keeping ascending number order.
+  void record_attempt(const Session& session, ProcessId self);
+
+  /// Form step (paper figure 1 / figure 3, step 3): adopt `session` as
+  /// Last_Primary, clear ambiguous sessions, refresh Last_Formed for all
+  /// members, admit pending participants.
+  void apply_form(const Session& session);
+
+  /// Resolution-rule adoption (paper figure 2): learned that `session`
+  /// (one of our ambiguous attempts) was formed by some member. Adopt it
+  /// as Last_Primary and drop every ambiguous session it supersedes.
+  void adopt_formed(const Session& session);
+
+  void encode(Encoder& enc) const;
+  [[nodiscard]] static ProtocolState decode(Decoder& dec);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ProtocolState&, const ProtocolState&) = default;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,103 @@
+#include "harness/availability.hpp"
+
+#include <algorithm>
+
+#include "dv/basic_protocol.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+AvailabilityResult run_schedule(ProtocolKind kind,
+                                const std::vector<ScheduleEvent>& schedule,
+                                ClusterOptions base) {
+  base.kind = kind;
+  Cluster cluster(std::move(base));
+  sim::Simulator& sim = cluster.sim();
+
+  for (const ScheduleEvent& event : schedule) {
+    sim.queue().schedule_at(event.time, [&cluster, &event] {
+      switch (event.kind) {
+        case ScheduleEvent::Kind::kPartition:
+          cluster.partition(event.groups);
+          break;
+        case ScheduleEvent::Kind::kMerge: {
+          ProcessSet merged;
+          for (const ProcessSet& g : event.groups) merged = merged.set_union(g);
+          cluster.partition({merged});
+          break;
+        }
+        case ScheduleEvent::Kind::kCrash:
+          cluster.crash(event.process);
+          break;
+        case ScheduleEvent::Kind::kRecover:
+          cluster.recover(event.process);
+          break;
+      }
+    });
+  }
+
+  cluster.merge();  // initial connectivity at t=0
+  cluster.settle();
+
+  const SimTime horizon = sim.now();
+  const ConsistencyChecker& checker = cluster.checker();
+
+  AvailabilityResult result;
+  result.kind = kind;
+  result.availability =
+      horizon == 0 ? 0.0
+                   : static_cast<double>(checker.primary_uptime(horizon)) /
+                         static_cast<double>(horizon);
+  result.formed_sessions = checker.formed_session_count();
+  result.rejected_sessions = checker.rejected_sessions();
+  result.blocked_sessions = checker.blocked_sessions();
+  result.violations = checker.check_basic().size();
+  result.mean_rounds =
+      checker.rounds_per_form().empty() ? 0 : checker.rounds_per_form().mean();
+  result.messages_sent = sim.network().stats().messages_sent;
+  result.bytes_sent = sim.network().stats().bytes_sent;
+  for (ProcessId p : cluster.all_processes()) {
+    if (const auto* dv =
+            dynamic_cast<const BasicDvProtocol*>(&cluster.protocol(p))) {
+      result.max_ambiguous =
+          std::max(result.max_ambiguous, dv->max_ambiguous_recorded());
+    }
+  }
+  return result;
+}
+
+std::vector<AvailabilityResult> compare_protocols(
+    const std::vector<ProtocolKind>& kinds, const ClusterOptions& base,
+    ScheduleOptions schedule_options, int count) {
+  ensure(count >= 1, "need at least one schedule");
+  const ProcessSet processes =
+      base.config.core.empty() ? ProcessSet::range(base.n) : base.config.core;
+
+  std::vector<AvailabilityResult> totals;
+  totals.reserve(kinds.size());
+  for (ProtocolKind kind : kinds) {
+    AvailabilityResult sum;
+    sum.kind = kind;
+    for (int i = 0; i < count; ++i) {
+      ScheduleOptions opts = schedule_options;
+      opts.seed = schedule_options.seed + static_cast<std::uint64_t>(i);
+      const auto schedule = generate_schedule(processes, opts);
+      const AvailabilityResult one = run_schedule(kind, schedule, base);
+      sum.availability += one.availability;
+      sum.formed_sessions += one.formed_sessions;
+      sum.rejected_sessions += one.rejected_sessions;
+      sum.blocked_sessions += one.blocked_sessions;
+      sum.violations += one.violations;
+      sum.mean_rounds += one.mean_rounds;
+      sum.messages_sent += one.messages_sent;
+      sum.bytes_sent += one.bytes_sent;
+      sum.max_ambiguous = std::max(sum.max_ambiguous, one.max_ambiguous);
+    }
+    sum.availability /= count;
+    sum.mean_rounds /= count;
+    totals.push_back(sum);
+  }
+  return totals;
+}
+
+}  // namespace dynvote

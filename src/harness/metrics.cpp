@@ -1,0 +1,53 @@
+#include "harness/metrics.hpp"
+
+#include <sstream>
+
+namespace dynvote {
+
+RunMetrics RunMetrics::collect(Cluster& cluster) {
+  RunMetrics m;
+  const sim::NetworkStats& net = cluster.sim().network().stats();
+  m.messages_sent = net.messages_sent;
+  m.messages_loopback = net.messages_loopback;
+  m.messages_delivered = net.messages_delivered;
+  m.messages_dropped = net.messages_dropped;
+  m.bytes_sent = net.bytes_sent;
+  for (ProcessId p : cluster.all_processes()) {
+    const sim::StableStorage& storage = cluster.sim().storage(p);
+    m.storage_writes += storage.writes();
+    m.storage_bytes += storage.bytes_written();
+  }
+  const ConsistencyChecker& checker = cluster.checker();
+  m.form_events = checker.form_events();
+  m.formed_sessions = checker.formed_session_count();
+  if (!checker.rounds_per_form().empty()) {
+    m.mean_rounds = checker.rounds_per_form().mean();
+    m.max_rounds = checker.rounds_per_form().max();
+  }
+  return m;
+}
+
+double RunMetrics::messages_per_formed() const {
+  return formed_sessions == 0
+             ? 0.0
+             : static_cast<double>(messages_sent) /
+                   static_cast<double>(formed_sessions);
+}
+
+double RunMetrics::bytes_per_formed() const {
+  return formed_sessions == 0
+             ? 0.0
+             : static_cast<double>(bytes_sent) /
+                   static_cast<double>(formed_sessions);
+}
+
+std::string RunMetrics::to_string() const {
+  std::ostringstream out;
+  out << "msgs=" << messages_sent << " (delivered " << messages_delivered
+      << ", dropped " << messages_dropped << ") bytes=" << bytes_sent
+      << " storage-writes=" << storage_writes << " formed=" << formed_sessions
+      << " mean-rounds=" << mean_rounds;
+  return out.str();
+}
+
+}  // namespace dynvote

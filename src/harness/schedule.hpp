@@ -1,0 +1,56 @@
+// Random failure schedules for the availability experiments.
+//
+// A schedule is a concrete, fully materialized sequence of network events
+// (partitions, merges, crashes, recoveries) at virtual times. Schedules
+// are generated once from a seed and then replayed bit-identically
+// against every protocol, making the availability comparison paired:
+// every protocol faces exactly the same failures at exactly the same
+// moments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+
+struct ScheduleEvent {
+  enum class Kind { kPartition, kMerge, kCrash, kRecover };
+
+  SimTime time = 0;
+  Kind kind = Kind::kPartition;
+  /// kPartition: the full component assignment of live processes.
+  /// kMerge: the components being merged into one.
+  std::vector<ProcessSet> groups;
+  /// kCrash / kRecover: the process.
+  ProcessId process;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ScheduleOptions {
+  SimTime duration = 3'000'000;
+  /// Mean gap between network events (exponential inter-arrival).
+  SimTime mean_event_gap = 60'000;
+  // Relative weights of event kinds (normalized internally; events that
+  // are impossible in the current topology are re-drawn).
+  double weight_partition = 4;
+  double weight_merge = 4;
+  double weight_crash = 1;
+  double weight_recover = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a legal schedule over `processes`: partitions only split
+/// existing components, merges only join existing ones, crashes hit live
+/// processes, recoveries revive crashed ones. The generator tracks the
+/// topology it implies, so replaying the schedule through the Simulator
+/// is always valid.
+[[nodiscard]] std::vector<ScheduleEvent> generate_schedule(
+    const ProcessSet& processes, const ScheduleOptions& options);
+
+}  // namespace dynvote

@@ -1,0 +1,9 @@
+#include "membership/view.hpp"
+
+namespace dynvote {
+
+std::string to_string(const View& view) {
+  return to_string(view.id) + view.members.to_string();
+}
+
+}  // namespace dynvote

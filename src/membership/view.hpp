@@ -1,0 +1,25 @@
+// Membership views.
+//
+// A view is what the membership module reports to a process: "these are
+// the processes currently assumed connected" (paper section 3.1). Views
+// carry a globally increasing id so a process can discard traffic from
+// views it has already left behind.
+#pragma once
+
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote {
+
+struct View {
+  ViewId id;
+  ProcessSet members;
+
+  friend bool operator==(const View&, const View&) = default;
+};
+
+[[nodiscard]] std::string to_string(const View& view);
+
+}  // namespace dynvote

@@ -1,0 +1,10 @@
+#include "quorum/linear_order.hpp"
+
+namespace dynvote {
+
+bool tie_break_favors(const ProcessSet& S, const ProcessSet& T) {
+  const auto top = S.max_member();
+  return top.has_value() && T.contains(*top);
+}
+
+}  // namespace dynvote

@@ -1,0 +1,51 @@
+#include "quorum/participants.hpp"
+
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+ParticipantTracker ParticipantTracker::initial(const ProcessSet& core,
+                                               ProcessId self) {
+  ParticipantTracker tracker;
+  tracker.admitted_ = core;
+  if (!core.contains(self)) tracker.pending_.insert(self);
+  return tracker;
+}
+
+void ParticipantTracker::merge_attempt_step(
+    const std::vector<const ParticipantTracker*>& peers) {
+  ProcessSet admitted = admitted_;
+  ProcessSet pending = pending_;
+  for (const ParticipantTracker* peer : peers) {
+    ensure(peer != nullptr, "null peer tracker");
+    admitted = admitted.set_union(peer->admitted_);
+    pending = pending.set_union(peer->pending_);
+  }
+  pending = pending.set_difference(admitted);
+  ensure(admitted_.is_subset_of(admitted), "W shrank (violates Lemma 12)");
+  admitted_ = std::move(admitted);
+  pending_ = std::move(pending);
+}
+
+void ParticipantTracker::admit_on_form(const ProcessSet& session_members) {
+  admitted_ = admitted_.set_union(pending_.set_intersection(session_members));
+  pending_ = pending_.set_difference(session_members);
+}
+
+void ParticipantTracker::encode(Encoder& enc) const {
+  enc.put_process_set(admitted_);
+  enc.put_process_set(pending_);
+}
+
+ParticipantTracker ParticipantTracker::decode(Decoder& dec) {
+  ParticipantTracker tracker;
+  tracker.admitted_ = dec.get_process_set();
+  tracker.pending_ = dec.get_process_set();
+  return tracker;
+}
+
+std::string ParticipantTracker::to_string() const {
+  return "W=" + admitted_.to_string() + " A=" + pending_.to_string();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,60 @@
+// Participant admission for dynamically changing quorum requirements
+// (paper section 6).
+//
+// Each process maintains:
+//   W — participants counted by the Min_Quorum requirement; starts at W0
+//       and grows when new processes take part in a *formed* session;
+//   A — processes that joined but have not been admitted to W yet.
+//
+// Attempt step: W := ∪ W_q over the session members, A := (∪ A_q) \ W.
+// Form step:    W := W ∪ (A ∩ S.M), A := A \ S.M.
+//
+// W and W ∪ A are monotonically non-decreasing (paper Lemma 12); the
+// tracker enforces this as an invariant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/codec.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote {
+
+class ParticipantTracker {
+ public:
+  ParticipantTracker() = default;
+
+  /// Initial state: W = W0 always; A = {} for core members, {self} for a
+  /// late joiner (paper section 6 variable initialization).
+  [[nodiscard]] static ParticipantTracker initial(const ProcessSet& core,
+                                                  ProcessId self);
+
+  [[nodiscard]] const ProcessSet& admitted() const noexcept { return admitted_; }
+  [[nodiscard]] const ProcessSet& pending() const noexcept { return pending_; }
+  [[nodiscard]] ProcessSet all_participants() const {
+    return admitted_.set_union(pending_);
+  }
+
+  /// Attempt-step update from the trackers every session member sent.
+  /// All members receive the same messages, so all compute the same
+  /// result (paper Lemma 13).
+  void merge_attempt_step(const std::vector<const ParticipantTracker*>& peers);
+
+  /// Form-step update: session members pending admission become admitted.
+  void admit_on_form(const ProcessSet& session_members);
+
+  void encode(Encoder& enc) const;
+  [[nodiscard]] static ParticipantTracker decode(Decoder& dec);
+
+  friend bool operator==(const ParticipantTracker&,
+                         const ParticipantTracker&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ProcessSet admitted_;  // W
+  ProcessSet pending_;   // A
+};
+
+}  // namespace dynvote

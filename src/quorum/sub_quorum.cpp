@@ -1,0 +1,55 @@
+#include "quorum/sub_quorum.hpp"
+
+#include "quorum/linear_order.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+QuorumCalculus::QuorumCalculus(ProcessSet core, std::size_t min_quorum,
+                               bool linear_tie_break)
+    : admitted_(core), all_(std::move(core)), min_quorum_(min_quorum),
+      linear_tie_break_(linear_tie_break) {
+  ensure(min_quorum_ >= 1, "Min_Quorum must be at least 1");
+}
+
+QuorumCalculus::QuorumCalculus(ProcessSet admitted, ProcessSet all,
+                               std::size_t min_quorum, bool linear_tie_break)
+    : admitted_(std::move(admitted)), all_(std::move(all)),
+      min_quorum_(min_quorum), linear_tie_break_(linear_tie_break) {
+  ensure(min_quorum_ >= 1, "Min_Quorum must be at least 1");
+  ensure(admitted_.is_subset_of(all_), "W must be a subset of W ∪ A");
+}
+
+bool QuorumCalculus::meets_min_quorum(const ProcessSet& T) const {
+  return T.intersection_size(admitted_) >= min_quorum_;
+}
+
+bool QuorumCalculus::unconditional(const ProcessSet& T) const {
+  const std::size_t overlap = T.intersection_size(all_);
+  // |T ∩ WA| > |WA| - Min_Quorum, computed without unsigned underflow.
+  return overlap + min_quorum_ > all_.size();
+}
+
+bool QuorumCalculus::sub_quorum(const std::optional<ProcessSet>& S,
+                                const ProcessSet& T) const {
+  if (!meets_min_quorum(T)) return false;
+  if (!S.has_value()) return false;  // Sub_Quorum(∞, T) = FALSE
+  if (T.contains_majority_of(*S)) return true;
+  if (linear_tie_break_ && T.contains_exact_half_of(*S) &&
+      tie_break_favors(*S, T)) {
+    return true;
+  }
+  return unconditional(T);
+}
+
+std::string QuorumCalculus::to_string() const {
+  return "W=" + admitted_.to_string() + " WA=" + all_.to_string() +
+         " MinQ=" + std::to_string(min_quorum_);
+}
+
+bool sub_quorum_implies_intersection(const QuorumCalculus& calc,
+                                     const ProcessSet& S, const ProcessSet& T) {
+  return !calc.sub_quorum(S, T) || S.intersects(T) || S.empty();
+}
+
+}  // namespace dynvote

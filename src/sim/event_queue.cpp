@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include "util/ensure.hpp"
+
+namespace dynvote::sim {
+
+EventToken EventQueue::schedule_at(SimTime t, Action action) {
+  ensure(t >= now_, "scheduling into the past");
+  EventToken token = next_token_++;
+  events_.emplace(Key{t, token}, std::move(action));
+  return token;
+}
+
+EventToken EventQueue::schedule_after(SimTime delay, Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::cancel(EventToken token) {
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->first.second == token) {
+      events_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventQueue::run_next() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.first;
+  Action action = std::move(it->second);
+  events_.erase(it);
+  ++executed_;
+  action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(SimTime t) {
+  std::size_t count = 0;
+  while (!events_.empty() && events_.begin()->first.first <= t) {
+    run_next();
+    ++count;
+  }
+  if (now_ < t) now_ = t;
+  return count;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && run_next()) ++count;
+  return count;
+}
+
+}  // namespace dynvote::sim

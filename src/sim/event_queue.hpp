@@ -1,0 +1,62 @@
+// Discrete-event scheduler.
+//
+// The whole library runs on virtual time: an event is a closure scheduled
+// at a SimTime; ties are broken by insertion sequence so executions are
+// fully deterministic (same seed => same trace, byte for byte).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/ids.hpp"
+
+namespace dynvote::sim {
+
+/// Token identifying a scheduled event so it can be cancelled.
+using EventToken = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time. Starts at 0 and only advances when events run.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute virtual time `t` (>= now()).
+  EventToken schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` `delay` ticks from now.
+  EventToken schedule_after(SimTime delay, Action action);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled (cancelling twice is harmless).
+  bool cancel(EventToken token);
+
+  /// Runs the earliest pending event, advancing the clock to it.
+  /// Returns false if the queue is empty.
+  bool run_next();
+
+  /// Runs events until none remain at time <= `t`, then advances the
+  /// clock to `t`. Returns the number of events executed.
+  std::size_t run_until(SimTime t);
+
+  /// Runs events until the queue drains or `max_events` executed.
+  /// Returns the number executed.
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+
+ private:
+  using Key = std::pair<SimTime, EventToken>;
+
+  SimTime now_ = 0;
+  EventToken next_token_ = 1;
+  std::size_t executed_ = 0;
+  std::map<Key, Action> events_;
+};
+
+}  // namespace dynvote::sim

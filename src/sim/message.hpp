@@ -1,0 +1,53 @@
+// Message envelope and payload base.
+//
+// The network transports opaque payloads; protocol layers define concrete
+// payload types. Payloads are immutable and shared: a broadcast allocates
+// one payload and every envelope references it, which both saves memory
+// and mirrors multicast (paper 4.4 notes the symmetric protocol suits
+// hardware multicast).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/ids.hpp"
+
+namespace dynvote::sim {
+
+/// Base class for everything sent over the simulated network.
+///
+/// `encoded_size` must return the serialized size in bytes; the metrics
+/// layer uses it for the communication benchmarks (experiment E4), so
+/// implementations encode themselves through util/codec rather than
+/// guessing.
+class MessagePayload {
+ public:
+  virtual ~MessagePayload() = default;
+
+  /// Human-readable type tag, for traces ("info", "attempt", ...).
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// Serialized size in bytes.
+  [[nodiscard]] virtual std::size_t encoded_size() const = 0;
+
+ protected:
+  MessagePayload() = default;
+  MessagePayload(const MessagePayload&) = default;
+  MessagePayload& operator=(const MessagePayload&) = default;
+};
+
+using PayloadPtr = std::shared_ptr<const MessagePayload>;
+
+/// A routed message. `view` is the membership view the sender was in when
+/// it sent the message; receivers process a message only within the same
+/// view, which realizes the causal membership/message ordering the paper
+/// requires in section 3.1.
+struct Envelope {
+  ProcessId from;
+  ProcessId to;
+  ViewId view;
+  PayloadPtr payload;
+};
+
+}  // namespace dynvote::sim

@@ -1,0 +1,201 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace dynvote::sim {
+
+namespace {
+
+std::pair<ProcessId, ProcessId> ordered_pair(ProcessId a, ProcessId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Network::Network(EventQueue& queue, Rng rng, Logger& logger,
+                 LatencyModel latency)
+    : queue_(queue), rng_(rng), logger_(logger), latency_(latency) {
+  ensure(latency_.min <= latency_.max, "latency model min > max");
+}
+
+void Network::add_process(ProcessId p) {
+  ensure(!entries_.contains(p), "process added twice");
+  processes_.insert(p);
+  ProcessEntry entry;
+  entry.component = next_component_++;
+  entries_.emplace(p, std::move(entry));
+}
+
+void Network::set_delivery_handler(ProcessId p,
+                                   std::function<void(Envelope)> handler) {
+  ensure(entries_.contains(p), "unknown process");
+  entries_.at(p).handler = std::move(handler);
+}
+
+void Network::set_components(const std::vector<ProcessSet>& groups) {
+  // Validate disjointness before mutating anything.
+  ProcessSet seen;
+  for (const ProcessSet& group : groups) {
+    for (ProcessId p : group) {
+      ensure(entries_.contains(p), "set_components: unknown process");
+      ensure(seen.insert(p), "set_components: process in two groups");
+    }
+  }
+  const auto before = entries_;
+  for (const ProcessSet& group : groups) {
+    const std::uint32_t component = next_component_++;
+    for (ProcessId p : group) entries_.at(p).component = component;
+  }
+  bump_epochs_for_disconnections(before);
+  logger_.log(queue_.now(), LogLevel::kDebug, "net", [&] {
+    std::string s = "components:";
+    for (const auto& c : live_components()) s += " " + c.to_string();
+    return s;
+  }());
+  notify_topology_changed();
+}
+
+void Network::merge_all() {
+  std::vector<ProcessSet> one{processes_};
+  set_components(one);
+}
+
+void Network::set_alive(ProcessId p, bool alive) {
+  ensure(entries_.contains(p), "unknown process");
+  if (entries_.at(p).alive == alive) return;
+  const auto before = entries_;
+  entries_.at(p).alive = alive;
+  if (alive) {
+    // A recovering process comes back in its own fresh component; a merge
+    // (set_components) reconnects it explicitly.
+    entries_.at(p).component = next_component_++;
+  }
+  bump_epochs_for_disconnections(before);
+  logger_.log(queue_.now(), LogLevel::kDebug, "net",
+              to_string(p) + (alive ? " recovered" : " crashed"));
+  notify_topology_changed();
+}
+
+bool Network::alive(ProcessId p) const {
+  auto it = entries_.find(p);
+  return it != entries_.end() && it->second.alive;
+}
+
+bool Network::connected(ProcessId a, ProcessId b) const {
+  if (a == b) return alive(a);
+  auto ia = entries_.find(a);
+  auto ib = entries_.find(b);
+  if (ia == entries_.end() || ib == entries_.end()) return false;
+  return ia->second.alive && ib->second.alive &&
+         ia->second.component == ib->second.component;
+}
+
+std::vector<ProcessSet> Network::live_components() const {
+  std::map<std::uint32_t, ProcessSet> by_component;
+  for (const auto& [p, entry] : entries_) {
+    if (entry.alive) by_component[entry.component].insert(p);
+  }
+  std::vector<ProcessSet> out;
+  out.reserve(by_component.size());
+  for (auto& [component, members] : by_component) out.push_back(members);
+  // Deterministic order: by smallest member.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ProcessSet Network::component_of(ProcessId p) const {
+  ProcessSet out;
+  if (!alive(p)) return out;
+  const std::uint32_t component = entries_.at(p).component;
+  for (const auto& [q, entry] : entries_) {
+    if (entry.alive && entry.component == component) out.insert(q);
+  }
+  return out;
+}
+
+void Network::bump_epochs_for_disconnections(
+    const std::map<ProcessId, ProcessEntry>& before) {
+  auto was_connected = [&](ProcessId a, ProcessId b) {
+    const auto& ea = before.at(a);
+    const auto& eb = before.at(b);
+    return ea.alive && eb.alive && ea.component == eb.component;
+  };
+  for (ProcessId a : processes_) {
+    for (ProcessId b : processes_) {
+      if (!(a < b)) continue;
+      if (was_connected(a, b) && !connected(a, b)) {
+        ++link_epochs_[ordered_pair(a, b)];
+      }
+    }
+  }
+}
+
+void Network::notify_topology_changed() {
+  for (const auto& observer : observers_) observer();
+}
+
+std::uint64_t Network::link_epoch(ProcessId a, ProcessId b) const {
+  auto it = link_epochs_.find(ordered_pair(a, b));
+  return it == link_epochs_.end() ? 0 : it->second;
+}
+
+void Network::add_topology_observer(TopologyObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void Network::send(Envelope env) {
+  ensure(entries_.contains(env.from) && entries_.contains(env.to),
+         "send between unknown processes");
+  ensure(env.payload != nullptr, "null payload");
+  ++stats_.messages_sent;
+  if (env.from == env.to) ++stats_.messages_loopback;
+  stats_.bytes_sent += env.payload->encoded_size();
+
+  if (drop_filter_ && drop_filter_(env)) {
+    ++stats_.messages_dropped;
+    logger_.log(queue_.now(), LogLevel::kDebug, "net",
+                "filter dropped " + env.payload->type_name() + " " +
+                    to_string(env.from) + "->" + to_string(env.to));
+    return;
+  }
+  if (!connected(env.from, env.to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const std::uint64_t epoch = link_epoch(env.from, env.to);
+  SimTime when;
+  if (env.from == env.to) {
+    when = queue_.now();  // local loopback: same instant, after queued work
+  } else {
+    const SimTime latency =
+        latency_.min + rng_.next_below(latency_.max - latency_.min + 1);
+    when = queue_.now() + latency;
+    // Reliable FIFO channel: per ordered pair, deliveries never reorder.
+    SimTime& last = last_scheduled_delivery_[{env.from, env.to}];
+    when = std::max(when, last);
+    last = when;
+  }
+  queue_.schedule_at(when, [this, env = std::move(env), epoch]() mutable {
+    deliver(std::move(env), epoch);
+  });
+}
+
+void Network::deliver(Envelope env, std::uint64_t epoch_at_send) {
+  // The pair must have stayed connected for the whole flight; a partition
+  // (even a healed one) loses the message, per the model in paper
+  // section 3.
+  if (!connected(env.from, env.to) ||
+      link_epoch(env.from, env.to) != epoch_at_send) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const auto& handler = entries_.at(env.to).handler;
+  ensure(static_cast<bool>(handler), "no delivery handler installed");
+  ++stats_.messages_delivered;
+  handler(std::move(env));
+}
+
+}  // namespace dynvote::sim

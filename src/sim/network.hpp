@@ -1,0 +1,139 @@
+// Simulated partitionable network.
+//
+// Model (paper section 3): processes communicate over reliable FIFO
+// channels while connected; failures partition the network into disjoint
+// components and components may re-merge; messages in flight across a
+// partition boundary are lost (the protocol learns of the loss through a
+// membership change, never through corruption).
+//
+// Connectivity is component-based: each live process belongs to exactly
+// one component; two processes are connected iff they are both alive and
+// in the same component. A per-pair "link epoch" is bumped whenever a
+// pair becomes disconnected, so a message sent before a partition is not
+// resurrected by a later merge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/message.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote::sim {
+
+/// Uniform message latency in simulated ticks.
+struct LatencyModel {
+  SimTime min = 40;
+  SimTime max = 160;
+};
+
+/// Counters for the communication benchmarks.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_loopback = 0;  // self-deliveries (subset of sent)
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // partition loss, crashes, filters
+  std::uint64_t bytes_sent = 0;
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class Network {
+ public:
+  /// Fault-injection hook, consulted for every send. Return true to drop
+  /// the message (used by scenarios to make a process "detach before
+  /// receiving the last message", paper section 1).
+  using DropFilter = std::function<bool(const Envelope&)>;
+
+  /// Observer invoked after every connectivity change (partition, merge,
+  /// crash, recovery). The membership oracle subscribes to this.
+  using TopologyObserver = std::function<void()>;
+
+  Network(EventQueue& queue, Rng rng, Logger& logger, LatencyModel latency);
+
+  /// Registers a process. All processes start alive, each in its own
+  /// singleton component until set_components is called.
+  void add_process(ProcessId p);
+
+  /// Installs the delivery callback for a process (the Node layer).
+  void set_delivery_handler(ProcessId p,
+                            std::function<void(Envelope)> handler);
+
+  // -- connectivity control ------------------------------------------------
+
+  /// Reassigns every listed process to the component given by its group.
+  /// Processes not mentioned keep their component. Crashed processes may
+  /// be mentioned; their assignment takes effect when they recover.
+  void set_components(const std::vector<ProcessSet>& groups);
+
+  /// Puts all live processes into one component.
+  void merge_all();
+
+  void set_alive(ProcessId p, bool alive);
+
+  [[nodiscard]] bool alive(ProcessId p) const;
+  [[nodiscard]] bool connected(ProcessId a, ProcessId b) const;
+
+  /// Current components over live processes, deterministically ordered.
+  [[nodiscard]] std::vector<ProcessSet> live_components() const;
+
+  /// The component of `p` (members alive and connected to p, including p).
+  /// Empty if p is crashed.
+  [[nodiscard]] ProcessSet component_of(ProcessId p) const;
+
+  [[nodiscard]] const ProcessSet& all_processes() const noexcept {
+    return processes_;
+  }
+
+  // -- messaging -------------------------------------------------------------
+
+  /// Sends `env`. Self-sends deliver at the current time (after currently
+  /// queued events); remote sends sample the latency model and respect
+  /// per-pair FIFO order. Messages crossing a partition are dropped.
+  void send(Envelope env);
+
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+  void clear_drop_filter() { drop_filter_ = nullptr; }
+
+  void add_topology_observer(TopologyObserver observer);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  NetworkStats& mutable_stats() noexcept { return stats_; }
+
+ private:
+  struct ProcessEntry {
+    bool alive = true;
+    std::uint32_t component = 0;
+    std::function<void(Envelope)> handler;
+  };
+
+  using Pair = std::pair<ProcessId, ProcessId>;
+
+  void bump_epochs_for_disconnections(
+      const std::map<ProcessId, ProcessEntry>& before);
+  void notify_topology_changed();
+  std::uint64_t link_epoch(ProcessId a, ProcessId b) const;
+  void deliver(Envelope env, std::uint64_t epoch_at_send);
+
+  EventQueue& queue_;
+  Rng rng_;
+  Logger& logger_;
+  LatencyModel latency_;
+  ProcessSet processes_;
+  std::map<ProcessId, ProcessEntry> entries_;
+  std::map<Pair, std::uint64_t> link_epochs_;
+  std::map<Pair, SimTime> last_scheduled_delivery_;
+  std::uint32_t next_component_ = 1;
+  DropFilter drop_filter_;
+  std::vector<TopologyObserver> observers_;
+  NetworkStats stats_;
+};
+
+}  // namespace dynvote::sim

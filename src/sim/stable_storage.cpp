@@ -1,0 +1,28 @@
+#include "sim/stable_storage.hpp"
+
+namespace dynvote::sim {
+
+void StableStorage::put(const std::string& key,
+                        std::vector<std::uint8_t> value) {
+  ++writes_;
+  bytes_written_ += value.size();
+  entries_[key] = std::move(value);
+}
+
+std::optional<std::vector<std::uint8_t>> StableStorage::get(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StableStorage::erase(const std::string& key) {
+  return entries_.erase(key) > 0;
+}
+
+void StableStorage::destroy() {
+  entries_.clear();
+  destroyed_ = true;
+}
+
+}  // namespace dynvote::sim

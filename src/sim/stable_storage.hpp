@@ -1,0 +1,52 @@
+// Simulated per-process stable storage.
+//
+// The paper (section 4.4) requires each process to "write the change to a
+// stable storage before responding to the message that caused the
+// change". Storage lives in the Simulator, not in the Node, so it
+// survives crashes; `destroy()` models the severe disk error of the
+// paper's footnotes 2 and 4 (correctness kept, availability reduced).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynvote::sim {
+
+class StableStorage {
+ public:
+  /// Durably stores `value` under `key`, replacing any previous value.
+  void put(const std::string& key, std::vector<std::uint8_t> value);
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key) const;
+
+  bool erase(const std::string& key);
+
+  /// Wipes everything: the "severe disk crash" fault. A process
+  /// recovering afterwards comes up with no history, i.e. with
+  /// Last_Primary = (infinity, -1).
+  void destroy();
+
+  [[nodiscard]] bool destroyed_once() const noexcept { return destroyed_; }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
+
+  // -- write metrics (stable-storage traffic is part of the protocol's
+  //    cost story) --
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::uint8_t>> entries_;
+  bool destroyed_ = false;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace dynvote::sim

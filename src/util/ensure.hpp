@@ -1,0 +1,33 @@
+// Invariant checking.
+//
+// The library throws InvariantViolation instead of aborting so that tests
+// can assert on broken invariants and the consistency checker can report
+// them as measurements (the inconsistent baseline protocols are *supposed*
+// to misbehave; we observe, we don't crash).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dynvote {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in the
+/// library (or a deliberately broken baseline doing something the correct
+/// protocol never would).
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Checks `condition`; throws InvariantViolation annotated with the call
+/// site otherwise. Used for preconditions and internal invariants alike.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                             std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace dynvote

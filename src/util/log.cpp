@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace dynvote {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::enable_stderr() {
+  add_sink([](const LogRecord& record) {
+    std::fprintf(stderr, "%s\n", format(record).c_str());
+  });
+}
+
+void Logger::add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+void Logger::log(SimTime time, LogLevel level, std::string component,
+                 std::string message) {
+  if (level < level_) return;
+  LogRecord record{time, level, std::move(component), std::move(message)};
+  for (const auto& sink : sinks_) sink(record);
+  if (capture_) records_.push_back(std::move(record));
+}
+
+std::string format(const LogRecord& record) {
+  std::ostringstream out;
+  out << "[" << std::setw(8) << record.time << "us] " << std::left
+      << std::setw(5) << to_string(record.level) << " " << std::setw(10)
+      << record.component << " | " << record.message;
+  return out.str();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,64 @@
+// Lightweight leveled logging.
+//
+// Simulations emit traces through a per-simulator Logger rather than a
+// global one, so concurrent tests don't interleave and scenario benches
+// can capture a narrative trace for their output tables.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace dynvote {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// A single log record: simulated timestamp, level, component tag, text.
+struct LogRecord {
+  SimTime time = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+/// Collects records above a threshold and forwards them to sinks.
+/// Default configuration is silent collection (no stderr noise in tests);
+/// enable_stderr() turns on human-readable output for examples.
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Keep an in-memory copy of each record (on by default; used by tests
+  /// and by scenario benches to print traces).
+  void set_capture(bool capture) noexcept { capture_ = capture; }
+
+  void enable_stderr();
+  void add_sink(Sink sink);
+
+  void log(SimTime time, LogLevel level, std::string component,
+           std::string message);
+
+  [[nodiscard]] const std::vector<LogRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  bool capture_ = true;
+  std::vector<LogRecord> records_;
+  std::vector<Sink> sinks_;
+};
+
+/// Formats a record as "[   123us] INFO  net | message".
+[[nodiscard]] std::string format(const LogRecord& record);
+
+}  // namespace dynvote

@@ -1,0 +1,154 @@
+#include "util/process_set.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+namespace {
+
+void normalize(std::vector<ProcessId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+ProcessSet::ProcessSet(std::initializer_list<ProcessId> ids) : members_(ids) {
+  normalize(members_);
+}
+
+ProcessSet::ProcessSet(std::vector<ProcessId> ids) : members_(std::move(ids)) {
+  normalize(members_);
+}
+
+ProcessSet ProcessSet::range(std::uint32_t n) {
+  std::vector<ProcessId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids.emplace_back(i);
+  return ProcessSet(std::move(ids));
+}
+
+ProcessSet ProcessSet::of(std::initializer_list<std::uint32_t> raw) {
+  std::vector<ProcessId> ids;
+  ids.reserve(raw.size());
+  for (std::uint32_t r : raw) ids.emplace_back(r);
+  return ProcessSet(std::move(ids));
+}
+
+bool ProcessSet::contains(ProcessId p) const {
+  return std::binary_search(members_.begin(), members_.end(), p);
+}
+
+bool ProcessSet::insert(ProcessId p) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  if (it != members_.end() && *it == p) return false;
+  members_.insert(it, p);
+  return true;
+}
+
+bool ProcessSet::erase(ProcessId p) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  if (it == members_.end() || *it != p) return false;
+  members_.erase(it);
+  return true;
+}
+
+ProcessSet ProcessSet::set_union(const ProcessSet& other) const {
+  std::vector<ProcessId> out;
+  out.reserve(members_.size() + other.members_.size());
+  std::set_union(members_.begin(), members_.end(), other.members_.begin(),
+                 other.members_.end(), std::back_inserter(out));
+  ProcessSet result;
+  result.members_ = std::move(out);
+  return result;
+}
+
+ProcessSet ProcessSet::set_intersection(const ProcessSet& other) const {
+  std::vector<ProcessId> out;
+  std::set_intersection(members_.begin(), members_.end(), other.members_.begin(),
+                        other.members_.end(), std::back_inserter(out));
+  ProcessSet result;
+  result.members_ = std::move(out);
+  return result;
+}
+
+ProcessSet ProcessSet::set_difference(const ProcessSet& other) const {
+  std::vector<ProcessId> out;
+  std::set_difference(members_.begin(), members_.end(), other.members_.begin(),
+                      other.members_.end(), std::back_inserter(out));
+  ProcessSet result;
+  result.members_ = std::move(out);
+  return result;
+}
+
+std::size_t ProcessSet::intersection_size(const ProcessSet& other) const {
+  std::size_t count = 0;
+  auto a = members_.begin();
+  auto b = other.members_.begin();
+  while (a != members_.end() && b != other.members_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+bool ProcessSet::intersects(const ProcessSet& other) const {
+  auto a = members_.begin();
+  auto b = other.members_.begin();
+  while (a != members_.end() && b != other.members_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+  return std::includes(other.members_.begin(), other.members_.end(),
+                       members_.begin(), members_.end());
+}
+
+bool ProcessSet::contains_majority_of(const ProcessSet& of) const {
+  return 2 * intersection_size(of) > of.size();
+}
+
+bool ProcessSet::contains_exact_half_of(const ProcessSet& of) const {
+  return 2 * intersection_size(of) == of.size();
+}
+
+std::optional<ProcessId> ProcessSet::max_member() const {
+  if (members_.empty()) return std::nullopt;
+  return members_.back();
+}
+
+std::size_t ProcessSet::index_of(ProcessId p) const {
+  auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  ensure(it != members_.end() && *it == p,
+         "index_of: " + dynvote::to_string(p) + " not in " + to_string());
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+std::string ProcessSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += dynvote::to_string(members_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,98 @@
+// ProcessSet: an ordered set of process identifiers with the set algebra
+// the quorum calculus needs (intersection sizes, majorities, maxima under
+// the linear order).
+//
+// Memberships in this protocol are small (tens of processes), so a sorted
+// flat vector beats node-based containers and gives deterministic
+// iteration order for free.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace dynvote {
+
+/// An immutable-by-convention, sorted, duplicate-free set of ProcessIds.
+///
+/// This is the "membership" type used everywhere: views, quorums, session
+/// memberships, and the W / A participant sets of paper section 6.
+class ProcessSet {
+ public:
+  using const_iterator = std::vector<ProcessId>::const_iterator;
+
+  ProcessSet() = default;
+
+  /// Builds a set from any list of ids; duplicates are collapsed.
+  ProcessSet(std::initializer_list<ProcessId> ids);
+  explicit ProcessSet(std::vector<ProcessId> ids);
+
+  /// Convenience: {ProcessId(0), ..., ProcessId(n-1)}.
+  [[nodiscard]] static ProcessSet range(std::uint32_t n);
+
+  /// Convenience for tests/examples: build from raw integer ids.
+  [[nodiscard]] static ProcessSet of(std::initializer_list<std::uint32_t> raw);
+
+  [[nodiscard]] bool contains(ProcessId p) const;
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Adds a member; returns true if it was not already present.
+  bool insert(ProcessId p);
+  /// Removes a member; returns true if it was present.
+  bool erase(ProcessId p);
+
+  [[nodiscard]] ProcessSet set_union(const ProcessSet& other) const;
+  [[nodiscard]] ProcessSet set_intersection(const ProcessSet& other) const;
+  [[nodiscard]] ProcessSet set_difference(const ProcessSet& other) const;
+
+  [[nodiscard]] std::size_t intersection_size(const ProcessSet& other) const;
+  [[nodiscard]] bool intersects(const ProcessSet& other) const;
+  [[nodiscard]] bool is_subset_of(const ProcessSet& other) const;
+
+  /// True iff this set contains a strict majority of `of`.
+  [[nodiscard]] bool contains_majority_of(const ProcessSet& of) const;
+
+  /// True iff this set contains exactly half of `of` (|of| even).
+  [[nodiscard]] bool contains_exact_half_of(const ProcessSet& of) const;
+
+  /// The highest-ranked member under the natural linear order, if any.
+  /// Paper 4.1 uses the maximum of the *previous quorum* to break ties.
+  [[nodiscard]] std::optional<ProcessId> max_member() const;
+
+  /// Position of `p` in the sorted membership list; this is the i_M(q)
+  /// index the optimized protocol's knowledge arrays are keyed by
+  /// (paper 5.1). Precondition: contains(p).
+  [[nodiscard]] std::size_t index_of(ProcessId p) const;
+
+  [[nodiscard]] const std::vector<ProcessId>& members() const noexcept {
+    return members_;
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return members_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return members_.end(); }
+
+  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+
+  /// Deterministic total order (lexicographic on the sorted members), so
+  /// ProcessSets can key ordered containers.
+  friend auto operator<=>(const ProcessSet& a, const ProcessSet& b) {
+    return a.members_ <=> b.members_;
+  }
+
+  /// Renders as "{p0,p1,p4}".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<ProcessId> members_;
+};
+
+[[nodiscard]] inline std::string to_string(const ProcessSet& s) {
+  return s.to_string();
+}
+
+}  // namespace dynvote

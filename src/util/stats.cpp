@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+double Summary::sum() const noexcept {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const noexcept {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Summary::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::percentile(double q) const {
+  ensure(q >= 0.0 && q <= 1.0, "percentile rank out of [0,1]");
+  ensure(!samples_.empty(), "percentile of empty summary");
+  sort_if_needed();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string format_percent(double ratio, int precision) {
+  return format_double(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace dynvote

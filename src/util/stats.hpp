@@ -1,0 +1,43 @@
+// Summary statistics for benchmark output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+/// Accumulates samples and reports the usual summary statistics.
+/// Percentiles use linear interpolation between closest ranks.
+class Summary {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// q in [0, 1].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros is
+/// deliberately *not* done so table columns stay aligned.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+/// Formats a ratio as a percentage string, e.g. "93.41%".
+[[nodiscard]] std::string format_percent(double ratio, int precision = 2);
+
+}  // namespace dynvote

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace dynvote {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ensure(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ensure(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      if (c == 0) {
+        out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+      }
+    }
+    out << " |\n";
+  };
+
+  auto emit_separator = [&](std::ostringstream& out) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  emit_separator(out);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator(out);
+    } else {
+      emit_row(out, row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+}  // namespace dynvote

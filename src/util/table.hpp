@@ -1,0 +1,38 @@
+// Aligned plain-text tables for benchmark output.
+//
+// Every reproduction bench prints its results as a table in the style of
+// the paper's worked-example tables (e.g. section 4.6). Columns are
+// auto-sized; the first column is left-aligned, the rest right-aligned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,216 @@
+// Fault-injection sweeps: crashes at every point of the formation
+// timeline, disk loss sweeps, view-churn storms, and codec fuzzing —
+// the "does anything at all shake it loose" suite.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dv/basic_protocol.hpp"
+#include "harness/cluster.hpp"
+#include "harness/scenario.hpp"
+#include "util/codec.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+// ---- crash-point sweep -----------------------------------------------------
+
+// Crash one process at a virtual-time offset inside the formation window
+// (the window is ~1.5ms: views arrive around 200-800us, the two rounds
+// take a few hundred more). Sweeping the offset hits every protocol
+// step: before the view, mid info round, mid attempt round, after
+// forming.
+class CrashPointSweep
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, SimTime>> {};
+
+TEST_P(CrashPointSweep, CrashAnywhereInFormationIsSafeAndRecoverable) {
+  const auto [kind, offset] = GetParam();
+  ClusterOptions options;
+  options.kind = kind;
+  options.n = 5;
+  options.sim.seed = 90 + offset;
+  Cluster cluster(options);
+
+  cluster.merge();                      // start forming
+  cluster.sim().run_until(offset);      // ...partway through
+  cluster.crash(ProcessId(2));
+  cluster.settle();
+
+  // Survivors end in a sane state; after recovery and heal, one primary.
+  cluster.recover(ProcessId(2));
+  cluster.settle();
+  cluster.merge();
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value())
+      << to_string(kind) << " offset " << offset;
+  EXPECT_EQ(cluster.live_primary()->members, ProcessSet::range(5));
+  const auto violations = cluster.checker().check_all();
+  EXPECT_TRUE(violations.empty())
+      << to_string(kind) << " offset " << offset << "\n"
+      << to_string(violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, CrashPointSweep,
+    ::testing::Combine(::testing::Values(ProtocolKind::kBasic,
+                                         ProtocolKind::kOptimized,
+                                         ProtocolKind::kCentralized),
+                       ::testing::Values(SimTime{100}, SimTime{400},
+                                         SimTime{700}, SimTime{1000},
+                                         SimTime{1300}, SimTime{2000})),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_t" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- disk-loss sweep ---------------------------------------------------------
+
+class DiskLossSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DiskLossSweep, UpToAllButOneDiskLossKeepsConsistency) {
+  const std::uint32_t losses = GetParam();
+  ClusterOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 5;
+  options.sim.seed = 95;
+  Cluster cluster(options);
+  cluster.start();
+  for (std::uint32_t p = 0; p < losses; ++p) {
+    cluster.sim().crash_and_destroy_disk(ProcessId(p));
+  }
+  cluster.settle();
+  for (std::uint32_t p = 0; p < losses; ++p) cluster.recover(ProcessId(p));
+  cluster.merge();
+  cluster.settle();
+  // With at least one intact history the full group always re-forms
+  // (it is a superset of every recorded quorum).
+  EXPECT_TRUE(cluster.live_primary().has_value()) << losses << " disks lost";
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, DiskLossSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---- view-churn storm ---------------------------------------------------------
+
+TEST(ChurnStorm, RapidFireTopologyChangesNeverBreakSafety) {
+  // Dozens of topology changes faster than sessions can complete: most
+  // views are superseded before delivery; the protocol must neither
+  // wedge nor split.
+  ClusterOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 6;
+  options.sim.seed = 96;
+  Cluster cluster(options);
+  Rng rng(97);
+  cluster.merge();
+  for (int storm = 0; storm < 60; ++storm) {
+    // A random bipartition, applied after only ~50us — far less than the
+    // membership detection delay, so sessions rarely finish.
+    cluster.sim().advance(50);
+    ProcessSet half;
+    for (std::uint32_t p = 0; p < 6; ++p) {
+      if (rng.next_bool(0.5)) half.insert(ProcessId(p));
+    }
+    if (half.empty() || half.size() == 6) continue;
+    cluster.partition({half, ProcessSet::range(6).set_difference(half)});
+  }
+  cluster.merge();
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value());
+  EXPECT_EQ(cluster.live_primary()->members, ProcessSet::range(6));
+  const auto violations = cluster.checker().check_all();
+  EXPECT_TRUE(violations.empty()) << to_string(violations);
+}
+
+TEST(ChurnStorm, SpuriousViewBombardmentIsHarmless) {
+  // The membership oracle lies constantly: random subsets reported as
+  // views while the real network stays fully connected.
+  ClusterOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 5;
+  options.sim.seed = 98;
+  Cluster cluster(options);
+  cluster.start();
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    ProcessSet lie;
+    for (std::uint32_t p = 0; p < 5; ++p) {
+      if (rng.next_bool(0.6)) lie.insert(ProcessId(p));
+    }
+    if (lie.empty()) lie.insert(ProcessId(0));
+    cluster.oracle().inject_view(lie);
+    cluster.sim().advance(300);
+  }
+  // A final truthful view settles everything.
+  cluster.oracle().inject_view(ProcessSet::range(5));
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value());
+  EXPECT_EQ(cluster.live_primary()->members, ProcessSet::range(5));
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+// ---- codec fuzz -----------------------------------------------------------------
+
+TEST(CodecFuzz, RandomBytesNeverCrashTheDecoders) {
+  Rng rng(0xF022);
+  int state_ok = 0, state_rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::size_t len = static_cast<std::size_t>(rng.next_below(200));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    Decoder dec(bytes);
+    try {
+      (void)ProtocolState::decode(dec);
+      ++state_ok;
+    } catch (const CodecError&) {
+      ++state_rejected;
+    }
+  }
+  // Overwhelmingly rejected; the point is no crash / no UB either way.
+  EXPECT_GT(state_rejected, 4000);
+  (void)state_ok;
+}
+
+TEST(CodecFuzz, TruncationsOfValidStateAlwaysThrowCleanly) {
+  auto state = ProtocolState::initial(ProcessSet::range(5), ProcessId(0));
+  state.record_attempt(Session{ProcessSet::of({0, 1, 2}), 1}, ProcessId(0));
+  Encoder enc;
+  state.encode(enc);
+  const auto& bytes = enc.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(cut));
+    Decoder dec(truncated);
+    EXPECT_THROW((void)ProtocolState::decode(dec), CodecError) << "cut " << cut;
+  }
+}
+
+TEST(CodecFuzz, BitFlipsEitherDecodeOrThrow) {
+  auto state = ProtocolState::initial(ProcessSet::range(5), ProcessId(1));
+  state.record_attempt(Session{ProcessSet::of({1, 2, 3}), 1}, ProcessId(1));
+  Encoder enc;
+  state.encode(enc);
+  Rng rng(0xB17);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes = enc.bytes();
+    const std::size_t pos = static_cast<std::size_t>(rng.next_below(bytes.size()));
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    Decoder dec(bytes);
+    try {
+      (void)ProtocolState::decode(dec);  // may succeed with altered values
+    } catch (const CodecError&) {
+      // equally fine
+    } catch (const InvariantViolation&) {
+      // set normalization may reject, also fine
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,158 @@
+// Integration tests: the replicated key-value store on top of the
+// primary-component service — writes gated on primacy, state transfer,
+// and application-level split-brain detection.
+#include <gtest/gtest.h>
+
+#include "app/replicated_kv.hpp"
+#include "harness/cluster.hpp"
+#include "harness/scenario.hpp"
+
+namespace dynvote::app {
+namespace {
+
+ClusterOptions options_for(ProtocolKind kind, std::uint64_t seed = 51) {
+  ClusterOptions options;
+  options.kind = kind;
+  options.n = 5;
+  options.sim.seed = seed;
+  return options;
+}
+
+TEST(Version, OrdersByPrimaryThenSequenceThenWriter) {
+  EXPECT_LT((Version{1, 5, ProcessId(0)}), (Version{2, 1, ProcessId(0)}));
+  EXPECT_LT((Version{2, 1, ProcessId(0)}), (Version{2, 2, ProcessId(0)}));
+  EXPECT_LT((Version{2, 2, ProcessId(0)}), (Version{2, 2, ProcessId(1)}));
+  EXPECT_EQ((Version{2, 2, ProcessId(3)}), (Version{2, 2, ProcessId(3)}));
+  EXPECT_EQ((Version{3, 1, ProcessId(4)}).to_string(), "v(3.1@p4)");
+}
+
+TEST(Version, TwoWritersInOnePrimaryNeverCollide) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  cluster.start();
+  KvStore store(cluster);
+  const auto v0 = store.write(ProcessId(0), "k", "a");
+  const auto v1 = store.write(ProcessId(1), "k", "b");
+  ASSERT_TRUE(v0 && v1);
+  EXPECT_NE(*v0, *v1);
+}
+
+TEST(ReplicatedKv, WritesAcceptedOnlyInPrimary) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  cluster.start();
+  KvStore store(cluster);
+  EXPECT_TRUE(store.write(ProcessId(0), "k", "v1").has_value());
+
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  EXPECT_TRUE(store.write(ProcessId(0), "k", "v2").has_value());
+  EXPECT_FALSE(store.write(ProcessId(3), "k", "minority").has_value());
+  EXPECT_EQ(store.accepted_writes(), 2u);
+}
+
+TEST(ReplicatedKv, ReadsSeeLocalReplicaState) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  cluster.start();
+  KvStore store(cluster);
+  store.write(ProcessId(0), "city", "jerusalem");
+  EXPECT_EQ(store.replica(ProcessId(0)).read("city"), "jerusalem");
+  EXPECT_EQ(store.replica(ProcessId(1)).read("city"), std::nullopt);
+  store.sync_primary();
+  EXPECT_EQ(store.replica(ProcessId(1)).read("city"), "jerusalem");
+}
+
+TEST(ReplicatedKv, SyncConvergesToHighestVersion) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  cluster.start();
+  KvStore store(cluster);
+  store.write(ProcessId(0), "k", "old");
+  store.sync_primary();
+  store.write(ProcessId(1), "k", "new");
+  store.sync_primary();
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(store.replica(ProcessId(p)).read("k"), "new") << "p" << p;
+  }
+}
+
+TEST(ReplicatedKv, PartitionedMinorityKeepsStaleDataWithoutConflict) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  cluster.start();
+  KvStore store(cluster);
+  store.write(ProcessId(0), "k", "v1");
+  store.sync_primary();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  store.write(ProcessId(0), "k", "v2");
+  store.sync_primary();
+  EXPECT_EQ(store.replica(ProcessId(3)).read("k"), "v1");  // stale, fine
+  EXPECT_TRUE(store.audit().empty());
+  cluster.merge();
+  cluster.settle();
+  store.sync_primary();
+  EXPECT_EQ(store.replica(ProcessId(3)).read("k"), "v2");
+  EXPECT_TRUE(store.audit().empty());
+}
+
+TEST(ReplicatedKv, ConsistentProtocolNeverDivergesUnderChurn) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized, 53));
+  cluster.start();
+  KvStore store(cluster);
+  int seq = 0;
+  auto write_everywhere = [&] {
+    for (std::uint32_t p = 0; p < 5; ++p) {
+      store.write(ProcessId(p), "key" + std::to_string(p % 2),
+                  "val" + std::to_string(seq++));
+    }
+    store.sync_primary();
+  };
+  write_everywhere();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  write_everywhere();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3, 4})});
+  cluster.settle();
+  write_everywhere();
+  cluster.merge();
+  cluster.settle();
+  write_everywhere();
+  EXPECT_TRUE(store.audit().empty());
+  EXPECT_GT(store.accepted_writes(), 0u);
+}
+
+TEST(ReplicatedKv, NaiveProtocolProducesApplicationVisibleSplitBrain) {
+  // The paper's section-1 scenario at the application level: both sides
+  // accept writes, and the audit catches the conflict.
+  Cluster cluster(options_for(ProtocolKind::kNaiveDynamic));
+  KvStore store(cluster);
+  FaultInjector faults(cluster.sim().network());
+  faults.drop_to(ProcessId(2), "dv.info", 2);
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  faults.clear();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3, 4})});
+  cluster.settle();
+
+  // Both components are "the primary" and both acknowledge writes.
+  ASSERT_TRUE(store.write(ProcessId(0), "balance", "100").has_value());
+  ASSERT_TRUE(store.write(ProcessId(2), "balance", "999").has_value());
+  const auto divergences = store.audit();
+  EXPECT_FALSE(divergences.empty());
+}
+
+TEST(ReplicatedKv, SameScenarioWithOurProtocolStaysClean) {
+  Cluster cluster(options_for(ProtocolKind::kOptimized));
+  KvStore store(cluster);
+  FaultInjector faults(cluster.sim().network());
+  faults.drop_to(ProcessId(2), "dv.attempt", 2);
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  faults.clear();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3, 4})});
+  cluster.settle();
+
+  ASSERT_TRUE(store.write(ProcessId(0), "balance", "100").has_value());
+  EXPECT_FALSE(store.write(ProcessId(2), "balance", "999").has_value());
+  EXPECT_TRUE(store.audit().empty());
+}
+
+}  // namespace
+}  // namespace dynvote::app

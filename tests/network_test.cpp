@@ -1,0 +1,227 @@
+// Unit tests: the simulated network (FIFO channels, partitions, message
+// loss semantics, filters) and the Node view gate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote::sim {
+namespace {
+
+class TestPayload final : public MessagePayload {
+ public:
+  explicit TestPayload(std::string tag, std::size_t size = 8)
+      : tag_(std::move(tag)), size_(size) {}
+  [[nodiscard]] std::string type_name() const override { return tag_; }
+  [[nodiscard]] std::size_t encoded_size() const override { return size_; }
+
+ private:
+  std::string tag_;
+  std::size_t size_;
+};
+
+/// Records everything it receives; exposes send/broadcast for tests.
+class RecordingNode : public Node {
+ public:
+  using Node::Node;
+  using Node::broadcast;
+  using Node::send;
+
+  std::vector<std::pair<ProcessId, std::string>> received;
+  std::vector<View> views;
+
+ protected:
+  void on_view(const View& view) override { views.push_back(view); }
+  void on_message(ProcessId from, const PayloadPtr& payload) override {
+    received.emplace_back(from, payload->type_name());
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      auto node = std::make_unique<RecordingNode>(sim_, ProcessId(i));
+      nodes_.push_back(node.get());
+      sim_.add_node(std::move(node));
+    }
+    sim_.merge_all();
+    // Give every node a view so sends are legal; same view id everywhere.
+    for (auto* node : nodes_) {
+      node->deliver_view(View{ViewId(1), ProcessSet::range(4)});
+    }
+  }
+
+  RecordingNode& node(std::uint32_t i) { return *nodes_[i]; }
+
+  Simulator sim_{SimulatorOptions{.seed = 99, .latency = {}}};
+  std::vector<RecordingNode*> nodes_;
+};
+
+TEST_F(NetworkTest, DeliversBetweenConnectedProcesses) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("ping"));
+  sim_.run_to_quiescence();
+  ASSERT_EQ(node(1).received.size(), 1u);
+  EXPECT_EQ(node(1).received[0].first, ProcessId(0));
+  EXPECT_EQ(node(1).received[0].second, "ping");
+  EXPECT_EQ(sim_.network().stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, LoopbackDeliversToSelf) {
+  node(2).send(ProcessId(2), std::make_shared<TestPayload>("self"));
+  sim_.run_to_quiescence();
+  ASSERT_EQ(node(2).received.size(), 1u);
+  EXPECT_EQ(node(2).received[0].first, ProcessId(2));
+}
+
+TEST_F(NetworkTest, BroadcastReachesAllViewMembersIncludingSelf) {
+  node(0).broadcast(std::make_shared<TestPayload>("all"));
+  sim_.run_to_quiescence();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(node(i).received.size(), 1u) << "node " << i;
+  }
+}
+
+TEST_F(NetworkTest, FifoPerPairDespiteRandomLatency) {
+  for (int i = 0; i < 50; ++i) {
+    node(0).send(ProcessId(1),
+                 std::make_shared<TestPayload>("m" + std::to_string(i)));
+  }
+  sim_.run_to_quiescence();
+  ASSERT_EQ(node(1).received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(node(1).received[static_cast<std::size_t>(i)].second,
+              "m" + std::to_string(i));
+  }
+}
+
+TEST_F(NetworkTest, SendAcrossPartitionIsDropped) {
+  sim_.set_components({ProcessSet::of({0}), ProcessSet::of({1, 2, 3})});
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("lost"));
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());
+  EXPECT_GE(sim_.network().stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, InFlightMessageLostWhenPartitionCutsIt) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("in-flight"));
+  // Partition before the latency elapses: the message must die.
+  sim_.set_components({ProcessSet::of({0}), ProcessSet::of({1, 2, 3})});
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());
+}
+
+TEST_F(NetworkTest, HealedPartitionDoesNotResurrectOldMessages) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("stale"));
+  sim_.set_components({ProcessSet::of({0}), ProcessSet::of({1, 2, 3})});
+  sim_.merge_all();  // heal immediately, before the delivery time
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());
+}
+
+TEST_F(NetworkTest, CrashDropsDeliveriesToAndFromTheProcess) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("to-crashed"));
+  sim_.crash(ProcessId(1));
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());
+  EXPECT_FALSE(sim_.network().alive(ProcessId(1)));
+  EXPECT_FALSE(sim_.network().connected(ProcessId(0), ProcessId(1)));
+}
+
+TEST_F(NetworkTest, RecoveryPlacesProcessInOwnComponent) {
+  sim_.crash(ProcessId(1));
+  sim_.recover(ProcessId(1));
+  EXPECT_TRUE(sim_.network().alive(ProcessId(1)));
+  EXPECT_FALSE(sim_.network().connected(ProcessId(0), ProcessId(1)));
+  EXPECT_EQ(sim_.network().component_of(ProcessId(1)), ProcessSet::of({1}));
+}
+
+TEST_F(NetworkTest, LiveComponentsReflectTopology) {
+  sim_.set_components({ProcessSet::of({0, 2}), ProcessSet::of({1, 3})});
+  const auto components = sim_.network().live_components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], ProcessSet::of({0, 2}));
+  EXPECT_EQ(components[1], ProcessSet::of({1, 3}));
+}
+
+TEST_F(NetworkTest, DropFilterInterceptsMatchingSends) {
+  sim_.network().set_drop_filter([](const Envelope& env) {
+    return env.payload->type_name() == "censored";
+  });
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("censored"));
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("ok"));
+  sim_.run_to_quiescence();
+  ASSERT_EQ(node(1).received.size(), 1u);
+  EXPECT_EQ(node(1).received[0].second, "ok");
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("x", 100));
+  sim_.run_to_quiescence();
+  EXPECT_EQ(sim_.network().stats().bytes_sent, 100u);
+}
+
+TEST_F(NetworkTest, RejectsOverlappingComponentGroups) {
+  EXPECT_THROW(
+      sim_.set_components({ProcessSet::of({0, 1}), ProcessSet::of({1, 2})}),
+      InvariantViolation);
+}
+
+// ---- Node view gate ---------------------------------------------------------
+
+TEST_F(NetworkTest, MessageFromOlderViewIsDiscarded) {
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("old-view"));
+  // Receiver advances to view 2 before delivery.
+  node(1).deliver_view(View{ViewId(2), ProcessSet::of({1, 2})});
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());
+}
+
+TEST_F(NetworkTest, MessageForFutureViewIsBufferedUntilViewArrives) {
+  // Sender already in view 3; receiver still in view 1.
+  node(0).deliver_view(View{ViewId(3), ProcessSet::of({0, 1})});
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("early"));
+  sim_.run_to_quiescence();
+  EXPECT_TRUE(node(1).received.empty());  // buffered, not delivered
+  node(1).deliver_view(View{ViewId(3), ProcessSet::of({0, 1})});
+  ASSERT_EQ(node(1).received.size(), 1u);
+  EXPECT_EQ(node(1).received[0].second, "early");
+}
+
+TEST_F(NetworkTest, BufferedMessageForSkippedViewIsDropped) {
+  node(0).deliver_view(View{ViewId(3), ProcessSet::of({0, 1})});
+  node(0).send(ProcessId(1), std::make_shared<TestPayload>("skipped"));
+  sim_.run_to_quiescence();
+  // Receiver jumps straight to view 5: the view-3 message dies.
+  node(1).deliver_view(View{ViewId(5), ProcessSet::of({0, 1})});
+  EXPECT_TRUE(node(1).received.empty());
+}
+
+TEST_F(NetworkTest, StaleViewReportIsIgnored) {
+  node(0).deliver_view(View{ViewId(5), ProcessSet::of({0})});
+  const std::size_t views_before = node(0).views.size();
+  node(0).deliver_view(View{ViewId(4), ProcessSet::of({0})});
+  EXPECT_EQ(node(0).views.size(), views_before);
+}
+
+TEST_F(NetworkTest, CrashClearsVolatileStateAndStopsDelivery) {
+  node(1).crash();
+  EXPECT_FALSE(node(1).alive());
+  EXPECT_FALSE(node(1).current_view().has_value());
+  node(1).deliver_view(View{ViewId(9), ProcessSet::of({1})});
+  EXPECT_TRUE(node(1).views.size() == 1u);  // only the fixture's view
+}
+
+TEST_F(NetworkTest, ViewMustContainTheReceiver) {
+  EXPECT_THROW(node(0).deliver_view(View{ViewId(9), ProcessSet::of({1, 2})}),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dynvote::sim

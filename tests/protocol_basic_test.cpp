@@ -1,0 +1,310 @@
+// Integration tests: the basic protocol (paper figure 1) on the full
+// simulated stack — quorum succession, tie-breaks, Min_Quorum, crashes,
+// recovery, disk loss, view churn.
+#include <gtest/gtest.h>
+
+#include "dv/basic_protocol.hpp"
+#include "harness/cluster.hpp"
+#include "harness/scenario.hpp"
+
+namespace dynvote {
+namespace {
+
+ClusterOptions basic_options(std::uint64_t seed = 1) {
+  ClusterOptions options;
+  options.kind = ProtocolKind::kBasic;
+  options.n = 5;
+  options.sim.seed = seed;
+  return options;
+}
+
+const BasicDvProtocol& dv_state_of(Cluster& cluster, std::uint32_t p) {
+  return dynamic_cast<const BasicDvProtocol&>(cluster.protocol(ProcessId(p)));
+}
+
+void expect_consistent(Cluster& cluster) {
+  const auto violations = cluster.checker().check_all();
+  EXPECT_TRUE(violations.empty()) << to_string(violations);
+}
+
+TEST(BasicProtocol, FullGroupFormsInitialPrimary) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::range(5));
+  EXPECT_EQ(cluster.primary_members(), ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, FormingClearsAmbiguousSessions) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_TRUE(dv_state_of(cluster, p).state().ambiguous.empty());
+    EXPECT_TRUE(dv_state_of(cluster, p).state().last_primary.has_value());
+  }
+}
+
+TEST(BasicProtocol, SessionNumbersAdvanceTogether) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  const auto n0 = dv_state_of(cluster, 0).state().session_number;
+  for (std::uint32_t p = 1; p < 5; ++p) {
+    EXPECT_EQ(dv_state_of(cluster, p).state().session_number, n0);
+  }
+  EXPECT_GT(n0, 0);
+}
+
+TEST(BasicProtocol, MajoritySideKeepsPrimaryAfterPartition) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({0, 1, 2}));
+  EXPECT_FALSE(cluster.protocol(ProcessId(3)).is_primary());
+  EXPECT_FALSE(cluster.protocol(ProcessId(4)).is_primary());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, QuorumChainShrinksToOneProcess) {
+  // 5 -> 3 -> 2 -> 1: each step a majority (or tie-win) of the previous.
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.partition({ProcessSet::of({2, 3, 4}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  cluster.partition({ProcessSet::of({3, 4}), ProcessSet::of({2})});
+  cluster.settle();
+  cluster.partition({ProcessSet::of({4}), ProcessSet::of({3})});
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({4}));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, ExactHalfResolvedByLinearOrder) {
+  // From {0,1,2,3}: the half containing p3 (top-ranked) wins the tie.
+  ClusterOptions options = basic_options();
+  options.n = 4;
+  Cluster cluster(options);
+  cluster.start();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3})});
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({2, 3}));
+  EXPECT_FALSE(cluster.protocol(ProcessId(0)).is_primary());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, MinoritySideRejectsWithReason) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  EXPECT_GT(cluster.checker().rejected_sessions(), 0u);
+}
+
+TEST(BasicProtocol, MinQuorumBlocksSingletons) {
+  ClusterOptions options = basic_options();
+  options.config.min_quorum = 2;
+  Cluster cluster(options);
+  cluster.start();
+  cluster.partition({ProcessSet::of({2, 3, 4}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  cluster.partition({ProcessSet::of({4}), ProcessSet::of({2, 3})});
+  cluster.settle();
+  // {2,3} (majority of {2,3,4}, two core members) may proceed; the
+  // singleton {4} cannot.
+  EXPECT_FALSE(cluster.protocol(ProcessId(4)).is_primary());
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({2, 3}));
+  // And {2,3} can never shrink to a singleton either.
+  cluster.partition({ProcessSet::of({2}), ProcessSet::of({3}),
+                     ProcessSet::of({4})});
+  cluster.settle();
+  EXPECT_FALSE(cluster.live_primary().has_value());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, MinQuorumUnconditionalClauseUnblocksLargeGroup) {
+  // After the primary is lost in small pieces, a group of more than
+  // n - Min_Quorum core members proceeds regardless of history.
+  ClusterOptions options = basic_options();
+  options.config.min_quorum = 2;
+  Cluster cluster(options);
+  cluster.start();
+  // Split so no component can form: {0,1} {2,3} {4} after primary {0..4}.
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3}),
+                     ProcessSet::of({4})});
+  cluster.settle();
+  EXPECT_FALSE(cluster.live_primary().has_value());
+  // Reconnect 4 of 5 (> n - Min_Quorum = 3): unconditional clause fires.
+  cluster.partition({ProcessSet::of({0, 1, 2, 3}), ProcessSet::of({4})});
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({0, 1, 2, 3}));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, MergeAfterPartitionRestoresFullPrimary) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  cluster.merge();
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, MinorityCannotFormEvenAfterInternalChurn) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  // The minority reshuffles internally; still no quorum.
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3}),
+                     ProcessSet::of({4})});
+  cluster.settle();
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  EXPECT_FALSE(cluster.protocol(ProcessId(3)).is_primary());
+  EXPECT_FALSE(cluster.protocol(ProcessId(4)).is_primary());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, CrashOfMinorityKeepsPrimaryAlive) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.crash(ProcessId(4));
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({0, 1, 2, 3}));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, CrashedProcessRecoversStateFromStableStorage) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  const auto before = dv_state_of(cluster, 4).state();
+  cluster.crash(ProcessId(4));
+  cluster.settle();
+  cluster.recover(ProcessId(4));
+  cluster.settle();
+  const auto& after = dv_state_of(cluster, 4).state();
+  EXPECT_EQ(after.last_primary, before.last_primary);
+  EXPECT_TRUE(after.has_history);
+  cluster.merge();
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, DiskLossComesBackAsInfinityButSystemProceeds) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  cluster.sim().crash_and_destroy_disk(ProcessId(4));
+  cluster.settle();
+  cluster.recover(ProcessId(4));
+  cluster.settle();
+  const auto& state = dv_state_of(cluster, 4).state();
+  EXPECT_FALSE(state.last_primary.has_value());  // (∞, -1), paper footnote 4
+  EXPECT_FALSE(state.has_history);
+  cluster.merge();
+  cluster.settle();
+  // The survivors' history carries the group: a primary still forms.
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, AllDisksDestroyedMeansNoPrimaryEver) {
+  // Sub_Quorum(∞, T) is FALSE: with every history gone, nothing can form.
+  Cluster cluster(basic_options());
+  cluster.start();
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    cluster.sim().crash_and_destroy_disk(ProcessId(p));
+  }
+  cluster.settle();
+  for (std::uint32_t p = 0; p < 5; ++p) cluster.recover(ProcessId(p));
+  cluster.merge();
+  cluster.settle();
+  EXPECT_FALSE(cluster.live_primary().has_value());
+  EXPECT_GT(cluster.checker().rejected_sessions(), 0u);
+}
+
+TEST(BasicProtocol, LosesPrimacyInstantlyOnViewChange) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  ASSERT_TRUE(cluster.protocol(ProcessId(0)).is_primary());
+  // Any new view sets Is_Primary to FALSE in step 1 — even a spurious one.
+  cluster.oracle().inject_view(ProcessSet::range(5));
+  cluster.sim().run_until(cluster.sim().now() + 900);  // views delivered
+  // After the session completes it becomes primary again.
+  cluster.settle();
+  EXPECT_TRUE(cluster.protocol(ProcessId(0)).is_primary());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, SpuriousMinorityViewDoesNotFormQuorum) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  // The oracle lies to {3,4}: claims they are alone. They must not form.
+  cluster.oracle().inject_view(ProcessSet::of({3, 4}));
+  cluster.settle();
+  EXPECT_FALSE(cluster.protocol(ProcessId(3)).is_primary());
+  EXPECT_FALSE(cluster.protocol(ProcessId(4)).is_primary());
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, RepeatedPartitionMergeCyclesStayConsistent) {
+  Cluster cluster(basic_options(7));
+  cluster.start();
+  for (int round = 0; round < 10; ++round) {
+    cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+    cluster.settle();
+    cluster.merge();
+    cluster.settle();
+  }
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+TEST(BasicProtocol, UsesExactlyTwoRounds) {
+  Cluster cluster(basic_options());
+  cluster.start();
+  EXPECT_DOUBLE_EQ(cluster.checker().rounds_per_form().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.checker().rounds_per_form().max(), 2.0);
+}
+
+TEST(BasicProtocol, AttemptRecordedWhenFormIsCut) {
+  // Drop all attempt deliveries to p2: everyone else forms; p2 keeps the
+  // session as ambiguous. This is the protocol's core safety mechanism.
+  Cluster cluster(basic_options());
+  FaultInjector faults(cluster.sim().network());
+  faults.drop_to(ProcessId(2), "dv.attempt");
+  cluster.start();
+  EXPECT_TRUE(cluster.protocol(ProcessId(0)).is_primary());
+  EXPECT_FALSE(cluster.protocol(ProcessId(2)).is_primary());
+  const auto& state = dv_state_of(cluster, 2).state();
+  ASSERT_EQ(state.ambiguous.size(), 1u);
+  EXPECT_EQ(state.ambiguous[0].session.members, ProcessSet::range(5));
+  expect_consistent(cluster);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,182 @@
+// Integration tests: dynamically changing quorum requirements (paper
+// section 6) — joins on the fly, W/A admission, Min_Quorum over the
+// grown participant set.
+#include <gtest/gtest.h>
+
+#include "dv/basic_protocol.hpp"
+#include "harness/cluster.hpp"
+
+namespace dynvote {
+namespace {
+
+ClusterOptions dynamic_options(std::size_t min_quorum = 1,
+                               std::uint64_t seed = 31) {
+  ClusterOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 3;  // core = {0,1,2}
+  options.config.min_quorum = min_quorum;
+  options.config.dynamic_participants = true;
+  options.sim.seed = seed;
+  return options;
+}
+
+const ProtocolState& state_of(Cluster& cluster, std::uint32_t p) {
+  return dynamic_cast<const BasicDvProtocol&>(cluster.protocol(ProcessId(p)))
+      .state();
+}
+
+TEST(DynamicParticipants, JoinerStartsPendingNotAdmitted) {
+  Cluster cluster(dynamic_options());
+  cluster.add_process(ProcessId(7));
+  const auto& state = state_of(cluster, 7);
+  EXPECT_EQ(state.participants.admitted(), ProcessSet::of({0, 1, 2}));
+  EXPECT_EQ(state.participants.pending(), ProcessSet::of({7}));
+  EXPECT_FALSE(state.last_primary.has_value());  // (∞, -1)
+}
+
+TEST(DynamicParticipants, LoneJoinerCannotForm) {
+  Cluster cluster(dynamic_options());
+  cluster.add_process(ProcessId(7));
+  cluster.partition({ProcessSet::of({7}), ProcessSet::of({0, 1, 2})});
+  cluster.settle();
+  EXPECT_FALSE(cluster.protocol(ProcessId(7)).is_primary());
+  EXPECT_TRUE(cluster.protocol(ProcessId(0)).is_primary());
+}
+
+TEST(DynamicParticipants, JoinerAdmittedWhenSessionForms) {
+  Cluster cluster(dynamic_options());
+  cluster.start();
+  cluster.add_process(ProcessId(7));
+  cluster.merge();
+  cluster.settle();
+  const auto primary = cluster.live_primary();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->members, ProcessSet::of({0, 1, 2, 7}));
+  for (std::uint32_t p : {0u, 1u, 2u, 7u}) {
+    EXPECT_EQ(state_of(cluster, p).participants.admitted(),
+              ProcessSet::of({0, 1, 2, 7}))
+        << "p" << p;
+    EXPECT_TRUE(state_of(cluster, p).participants.pending().empty());
+  }
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+TEST(DynamicParticipants, AdmittedJoinersCountTowardMinQuorum) {
+  // Min_Quorum = 2. After {3,4} join and are admitted, a quorum made of
+  // the two joiners alone is legal — impossible under the fixed core.
+  for (bool dynamic : {true, false}) {
+    ClusterOptions options = dynamic_options(2);
+    options.config.dynamic_participants = dynamic;
+    Cluster cluster(options);
+    cluster.start();
+    cluster.add_process(ProcessId(3));
+    cluster.add_process(ProcessId(4));
+    cluster.merge();
+    cluster.settle();
+    ASSERT_TRUE(cluster.live_primary().has_value());
+    EXPECT_EQ(cluster.live_primary()->members, ProcessSet::of({0, 1, 2, 3, 4}));
+
+    // Shrink the quorum chain towards the joiners: {0..4} -> {2,3,4} ->
+    // {3,4}.
+    cluster.partition({ProcessSet::of({2, 3, 4}), ProcessSet::of({0, 1})});
+    cluster.settle();
+    if (!dynamic) {
+      // Already blocked: |{2,3,4} ∩ W0| = 1 < Min_Quorum = 2. Only the
+      // grown participant set makes this component viable.
+      EXPECT_FALSE(cluster.protocol(ProcessId(3)).is_primary());
+      EXPECT_TRUE(cluster.checker().check_all().empty());
+      continue;
+    }
+    ASSERT_TRUE(cluster.protocol(ProcessId(3)).is_primary());
+    cluster.partition({ProcessSet::of({3, 4}), ProcessSet::of({0, 1}),
+                       ProcessSet::of({2})});
+    cluster.settle();
+    // |{3,4} ∩ W| = 2 >= Min_Quorum: the joiners alone carry the primary.
+    EXPECT_TRUE(cluster.protocol(ProcessId(3)).is_primary());
+    EXPECT_TRUE(cluster.protocol(ProcessId(4)).is_primary());
+    EXPECT_TRUE(cluster.checker().check_all().empty());
+  }
+}
+
+TEST(DynamicParticipants, UnconditionalClauseUsesGrownSet) {
+  // W grows to 5; Min_Quorum = 2. Drive the primary down to {3,4}, then
+  // reconnect {0,1,2,3}: NOT a majority of {3,4} (exactly half, and the
+  // top-ranked p4 is absent) — only the unconditional clause
+  // |M ∩ WA| = 4 > |WA| − Min_Quorum = 3 lets the system proceed.
+  Cluster cluster(dynamic_options(2));
+  cluster.start();
+  cluster.add_process(ProcessId(3));
+  cluster.add_process(ProcessId(4));
+  cluster.merge();
+  cluster.settle();
+  ASSERT_EQ(state_of(cluster, 0).participants.admitted().size(), 5u);
+
+  cluster.partition({ProcessSet::of({2, 3, 4}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  cluster.partition({ProcessSet::of({3, 4}), ProcessSet::of({2}),
+                     ProcessSet::of({0, 1})});
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value());
+  ASSERT_EQ(cluster.live_primary()->members, ProcessSet::of({3, 4}));
+
+  cluster.partition({ProcessSet::of({0, 1, 2, 3}), ProcessSet::of({4})});
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value());
+  EXPECT_EQ(cluster.live_primary()->members, ProcessSet::of({0, 1, 2, 3}));
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+TEST(DynamicParticipants, SequentialJoinsGrowWMonotonically) {
+  Cluster cluster(dynamic_options());
+  cluster.start();
+  ProcessSet expected = ProcessSet::of({0, 1, 2});
+  for (std::uint32_t joiner : {10u, 11u, 12u, 13u}) {
+    cluster.add_process(ProcessId(joiner));
+    cluster.merge();
+    cluster.settle();
+    expected.insert(ProcessId(joiner));
+    EXPECT_EQ(state_of(cluster, 0).participants.admitted(), expected);
+    ASSERT_TRUE(cluster.live_primary().has_value());
+    EXPECT_EQ(cluster.live_primary()->members, expected);
+  }
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+TEST(DynamicParticipants, JoinerNotAdmittedIfSessionAborts) {
+  // The joiner meets only a minority of the core: the session cannot
+  // form, so the joiner must remain pending (it merged into A, not W).
+  Cluster cluster(dynamic_options());
+  cluster.start();
+  cluster.add_process(ProcessId(7));
+  cluster.partition({ProcessSet::of({2, 7}), ProcessSet::of({0, 1})});
+  cluster.settle();
+  EXPECT_FALSE(cluster.protocol(ProcessId(7)).is_primary());
+  const auto& state = state_of(cluster, 2);
+  EXPECT_EQ(state.participants.admitted(), ProcessSet::of({0, 1, 2}));
+  EXPECT_EQ(state.participants.pending(), ProcessSet::of({7}));
+  EXPECT_TRUE(cluster.checker().check_all().empty());
+}
+
+TEST(DynamicParticipants, ConsistencyAcrossJoinsAndPartitions) {
+  Cluster cluster(dynamic_options(1, 77));
+  cluster.start();
+  cluster.add_process(ProcessId(3));
+  cluster.merge();
+  cluster.settle();
+  cluster.partition({ProcessSet::of({0, 3}), ProcessSet::of({1, 2})});
+  cluster.settle();
+  cluster.add_process(ProcessId(4));
+  cluster.merge();
+  cluster.settle();
+  cluster.partition({ProcessSet::of({3, 4}), ProcessSet::of({0, 1, 2})});
+  cluster.settle();
+  cluster.merge();
+  cluster.settle();
+  ASSERT_TRUE(cluster.live_primary().has_value());
+  EXPECT_EQ(cluster.live_primary()->members, ProcessSet::of({0, 1, 2, 3, 4}));
+  const auto violations = cluster.checker().check_all();
+  EXPECT_TRUE(violations.empty()) << to_string(violations);
+}
+
+}  // namespace
+}  // namespace dynvote

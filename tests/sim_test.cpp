@@ -1,0 +1,130 @@
+// Unit tests: event queue and stable storage.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/stable_storage.hpp"
+#include "util/ensure.hpp"
+
+namespace dynvote::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(5, [&] { order.push_back(2); });
+  q.schedule_at(5, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.schedule_at(100, [&] {
+    q.schedule_after(50, [&] { seen = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_after(10, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5, [] {}), InvariantViolation);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventToken token = q.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(token));
+  EXPECT_FALSE(q.cancel(token));
+  q.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(500), 0u);
+  EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(20, [&] { ++ran; });
+  q.schedule_at(30, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunAllHonorsEventLimit) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_after(1, forever); };
+  q.schedule_at(0, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(StableStorage, PutGetErase) {
+  StableStorage storage;
+  EXPECT_EQ(storage.get("k"), std::nullopt);
+  storage.put("k", {1, 2, 3});
+  EXPECT_EQ(storage.get("k"), (std::vector<std::uint8_t>{1, 2, 3}));
+  storage.put("k", {9});
+  EXPECT_EQ(storage.get("k"), (std::vector<std::uint8_t>{9}));
+  EXPECT_TRUE(storage.erase("k"));
+  EXPECT_FALSE(storage.erase("k"));
+  EXPECT_EQ(storage.get("k"), std::nullopt);
+}
+
+TEST(StableStorage, DestroyWipesEverything) {
+  StableStorage storage;
+  storage.put("a", {1});
+  storage.put("b", {2});
+  EXPECT_EQ(storage.entry_count(), 2u);
+  EXPECT_FALSE(storage.destroyed_once());
+  storage.destroy();
+  EXPECT_TRUE(storage.destroyed_once());
+  EXPECT_EQ(storage.entry_count(), 0u);
+  EXPECT_EQ(storage.get("a"), std::nullopt);
+}
+
+TEST(StableStorage, TracksWriteMetrics) {
+  StableStorage storage;
+  storage.put("a", {1, 2, 3});
+  storage.put("b", {4});
+  EXPECT_EQ(storage.writes(), 2u);
+  EXPECT_EQ(storage.bytes_written(), 4u);
+}
+
+}  // namespace
+}  // namespace dynvote::sim

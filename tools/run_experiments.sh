@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Builds everything, runs the full test suite, and regenerates every
+# experiment table into ./results/.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+mkdir -p results
+for bench in build/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  "$bench" | tee "results/$name.txt"
+done
+echo "All experiment outputs written to ./results/"
