@@ -12,6 +12,7 @@
 
 #include "dv/basic_protocol.hpp"
 #include "harness/availability.hpp"
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "harness/schedule.hpp"
@@ -81,6 +82,9 @@ int main() {
   std::puts("E3: ambiguous-session growth (paper 4.7 + Theorem 1)\n");
 
   std::puts("The paper's adversarial execution (section 4.7):");
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E3"));
+  JsonValue adversarial_rows = JsonValue::array();
   Table adversarial({"n", "sessions driven", "basic records", "paper 2^(n-|G|)",
                      "optimized records"});
   for (std::uint32_t n : {4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
@@ -90,13 +94,21 @@ int main() {
     adversarial.add_row({std::to_string(n), std::to_string(sessions),
                          std::to_string(basic), std::to_string(sessions),
                          std::to_string(optimized)});
+    JsonValue row = JsonValue::object();
+    row.set("n", JsonValue(std::uint64_t{n}));
+    row.set("sessions_driven", JsonValue(std::uint64_t{sessions}));
+    row.set("basic_records", JsonValue(std::uint64_t{basic}));
+    row.set("optimized_records", JsonValue(std::uint64_t{optimized}));
+    adversarial_rows.push_back(std::move(row));
   }
+  result.set("adversarial", std::move(adversarial_rows));
   std::printf("%s\n", adversarial.to_string().c_str());
 
   std::puts("Random failure schedules (5 seeds each), high-water marks vs the");
   std::puts("Theorem-1 bound n - Min_Quorum + 1 for the optimized protocol:");
   Table random_table({"n", "Min_Quorum", "basic high-water",
                       "optimized high-water", "Theorem 1 bound"});
+  JsonValue random_rows = JsonValue::array();
   for (std::uint32_t n : {5u, 7u, 9u}) {
     for (std::size_t min_quorum : {std::size_t{1}, std::size_t{2}}) {
       const auto basic =
@@ -106,11 +118,20 @@ int main() {
       random_table.add_row({std::to_string(n), std::to_string(min_quorum),
                             std::to_string(basic), std::to_string(optimized),
                             std::to_string(n - min_quorum + 1)});
+      JsonValue row = JsonValue::object();
+      row.set("n", JsonValue(std::uint64_t{n}));
+      row.set("min_quorum", JsonValue(std::uint64_t{min_quorum}));
+      row.set("basic_high_water", JsonValue(std::uint64_t{basic}));
+      row.set("optimized_high_water", JsonValue(std::uint64_t{optimized}));
+      row.set("theorem1_bound", JsonValue(std::uint64_t{n - min_quorum + 1}));
+      random_rows.push_back(std::move(row));
     }
   }
+  result.set("random_schedules", std::move(random_rows));
   std::printf("%s\n", random_table.to_string().c_str());
   std::puts("Paper expectation: column 3 doubles with every step of n (odd n:");
   std::puts("2^ floor(n/2)); the optimized protocol stays constant on the");
   std::puts("adversarial run and always within the Theorem-1 bound.");
+  emit_bench_result("ambiguous_growth", result);
   return 0;
 }

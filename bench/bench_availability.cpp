@@ -16,14 +16,15 @@
 #include <vector>
 
 #include "harness/availability.hpp"
+#include "harness/bench_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace dynvote {
 namespace {
 
-void run_sweep(std::uint32_t n, std::size_t min_quorum, int schedules,
-               double formation_miss) {
+JsonValue run_sweep(std::uint32_t n, std::size_t min_quorum, int schedules,
+                    double formation_miss) {
   std::printf(
       "n = %u processes, Min_Quorum = %zu, %d paired schedules per cell, "
       "formation-miss probability %.0f%%\n\n",
@@ -60,21 +61,39 @@ void run_sweep(std::uint32_t n, std::size_t min_quorum, int schedules,
   header.push_back("violations");
   header.push_back("blocked");
 
+  JsonValue sweep = JsonValue::object();
+  sweep.set("n", JsonValue(std::uint64_t{n}));
+  sweep.set("min_quorum", JsonValue(std::uint64_t{min_quorum}));
+  sweep.set("schedules", JsonValue(std::int64_t{schedules}));
+  sweep.set("formation_miss", JsonValue(formation_miss));
+  JsonValue rows = JsonValue::array();
+
   Table table(header);
   for (std::size_t k = 0; k < kinds.size(); ++k) {
     std::vector<std::string> row{to_string(kinds[k])};
     std::uint64_t violations = 0;
     std::uint64_t blocked = 0;
+    JsonValue availability = JsonValue::object();
     for (const Cell& cell : cells) {
       row.push_back(format_percent(cell.results[k].availability));
+      availability.set("gap_" + std::to_string(cell.gap),
+                       JsonValue(cell.results[k].availability));
       violations += cell.results[k].violations;
       blocked += cell.results[k].blocked_sessions;
     }
     row.push_back(std::to_string(violations));
     row.push_back(std::to_string(blocked));
     table.add_row(row);
+    JsonValue json_row = JsonValue::object();
+    json_row.set("protocol", JsonValue(to_string(kinds[k])));
+    json_row.set("availability", std::move(availability));
+    json_row.set("violations", JsonValue(violations));
+    json_row.set("blocked", JsonValue(blocked));
+    rows.push_back(std::move(json_row));
   }
   std::printf("%s\n", table.to_string().c_str());
+  sweep.set("rows", std::move(rows));
+  return sweep;
 }
 
 }  // namespace
@@ -84,18 +103,23 @@ int main() {
   using namespace dynvote;
   std::puts("E5: availability under random partitions/merges/crashes");
   std::puts("    (paired schedules: every protocol faces identical failures)\n");
-  run_sweep(5, 1, 8, 0.0);
-  run_sweep(9, 1, 5, 0.0);
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E5"));
+  JsonValue sweeps = JsonValue::array();
+  sweeps.push_back(run_sweep(5, 1, 8, 0.0));
+  sweeps.push_back(run_sweep(9, 1, 5, 0.0));
   std::puts("With failures hitting quorum formation itself: on every topology");
   std::puts("change, with probability 40% per component, one member misses the");
   std::puts("closing round of the session (the paper's section-1 failure mode):\n");
-  run_sweep(5, 1, 8, 0.4);
-  run_sweep(9, 1, 5, 0.4);
+  sweeps.push_back(run_sweep(5, 1, 8, 0.4));
+  sweeps.push_back(run_sweep(9, 1, 5, 0.4));
+  result.set("sweeps", std::move(sweeps));
   std::puts("Paper expectation: dynamic voting >= static majority, with the gap");
   std::puts("widening as failures get denser (smaller gap); non-blocking >=");
   std::puts("blocking — decisively so once failures hit the protocol itself");
   std::puts("(the formation-miss tables, where blocking stalls on absent");
   std::puts("attempters); naive 'availability' is inflated by split brain —");
   std::puts("its violation count exposes it (a correct protocol must show 0).");
+  emit_bench_result("availability", result);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "harness/metrics.hpp"
 #include "util/stats.hpp"
@@ -91,6 +92,11 @@ int main() {
 
   Table table({"protocol", "rounds", "msgs/quorum", "remote msgs", "bytes",
                "disk writes", "latency (us)"});
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E4"));
+  result.set("n", JsonValue(std::uint64_t{n}));
+  result.set("trials", JsonValue(std::int64_t{trials}));
+  JsonValue rows = JsonValue::array();
   for (ProtocolKind kind :
        {ProtocolKind::kStaticMajority, ProtocolKind::kNaiveDynamic,
         ProtocolKind::kBasic, ProtocolKind::kOptimized,
@@ -103,7 +109,17 @@ int main() {
                    format_double(cost.bytes, 0),
                    format_double(cost.storage_writes, 1),
                    format_double(cost.latency, 0)});
+    JsonValue row = JsonValue::object();
+    row.set("protocol", JsonValue(to_string(kind)));
+    row.set("rounds", JsonValue(cost.rounds));
+    row.set("messages_per_quorum", JsonValue(cost.messages));
+    row.set("remote_messages_per_quorum", JsonValue(cost.remote_messages));
+    row.set("bytes_per_quorum", JsonValue(cost.bytes));
+    row.set("storage_writes_per_quorum", JsonValue(cost.storage_writes));
+    row.set("formation_latency_us", JsonValue(cost.latency));
+    rows.push_back(std::move(row));
   }
+  result.set("rows", std::move(rows));
   std::printf("%s\n", table.to_string().c_str());
 
   std::puts("Analytic model rows (paper section 4.4):");
@@ -120,5 +136,6 @@ int main() {
   std::puts("Paper expectation: ours = 2 rounds (1 with membership piggyback),");
   std::puts("[17]-style explicit recovery >= 5 rounds; the symmetric variant");
   std::puts("trades n^2 messages for multicast friendliness (paper 4.4).");
+  emit_bench_result("communication", result);
   return 0;
 }

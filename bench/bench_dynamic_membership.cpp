@@ -14,6 +14,7 @@
 #include <string>
 
 #include "dv/basic_protocol.hpp"
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -26,7 +27,7 @@ const ProtocolState& state_of(Cluster& cluster, std::uint32_t p) {
       .state();
 }
 
-void join_flow() {
+JsonValue join_flow() {
   ClusterOptions options;
   options.kind = ProtocolKind::kOptimized;
   options.n = 3;
@@ -40,6 +41,7 @@ void join_flow() {
   Table table({"joiner", "join latency (us)", "primary after join", "W after",
                "A after"});
   Summary latency;
+  JsonValue rows = JsonValue::array();
   for (std::uint32_t joiner = 3; joiner <= 7; ++joiner) {
     cluster.add_process(ProcessId(joiner));
     const SimTime before = cluster.sim().now();
@@ -52,15 +54,26 @@ void join_flow() {
                    primary ? primary->members.to_string() : "none",
                    state_of(cluster, 0).participants.admitted().to_string(),
                    state_of(cluster, 0).participants.pending().to_string()});
+    JsonValue row = JsonValue::object();
+    row.set("joiner", JsonValue(std::uint64_t{joiner}));
+    row.set("join_latency_us", JsonValue(std::uint64_t{took}));
+    row.set("joined_primary", JsonValue(primary.has_value()));
+    rows.push_back(std::move(row));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("mean join latency: %s us\n\n", format_double(latency.mean(), 0).c_str());
+  JsonValue block = JsonValue::object();
+  block.set("mean_join_latency_us",
+            JsonValue(latency.empty() ? 0.0 : latency.mean()));
+  block.set("joins", std::move(rows));
+  return block;
 }
 
-void core_retirement() {
+JsonValue core_retirement() {
   std::puts("(2) the core retires: {p0,p1,p2} leave after five joiners were");
   std::puts("    admitted; can the joiners keep a primary? (Min_Quorum = 2)");
   Table table({"quorum rule", "primary among joiners", "verdict"});
+  JsonValue rows = JsonValue::array();
   for (bool dynamic : {false, true}) {
     ClusterOptions options;
     options.kind = ProtocolKind::kOptimized;
@@ -87,11 +100,16 @@ void core_retirement() {
                    joiners_carry ? joiners.to_string() : "none",
                    joiners_carry ? "system outlives its founders"
                                  : "founders' departure strands it"});
+    JsonValue row = JsonValue::object();
+    row.set("quorum_rule", JsonValue(dynamic ? "dynamic_wa" : "fixed_core"));
+    row.set("joiners_carry_primary", JsonValue(joiners_carry));
+    rows.push_back(std::move(row));
   }
   std::printf("%s\n", table.to_string().c_str());
+  return rows;
 }
 
-void churn_availability() {
+JsonValue churn_availability() {
   std::puts("(3) continuous churn: joiners keep arriving while the network");
   std::puts("    partitions and heals (formed sessions / sessions attempted):");
   ClusterOptions options;
@@ -123,6 +141,13 @@ void churn_availability() {
               violations.size());
   std::printf("final W at p0: %s\n\n",
               state_of(cluster, 0).participants.admitted().to_string().c_str());
+  JsonValue block = JsonValue::object();
+  block.set("formed_sessions",
+            JsonValue(std::uint64_t{cluster.checker().formed_session_count()}));
+  block.set("rejected_sessions",
+            JsonValue(std::uint64_t{cluster.checker().rejected_sessions()}));
+  block.set("violations", JsonValue(std::uint64_t{violations.size()}));
+  return block;
 }
 
 }  // namespace
@@ -131,12 +156,15 @@ void churn_availability() {
 int main() {
   using namespace dynvote;
   std::puts("E9: dynamically changing quorum requirements (paper section 6)\n");
-  join_flow();
-  core_retirement();
-  churn_availability();
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E9"));
+  result.set("join_flow", join_flow());
+  result.set("core_retirement", core_retirement());
+  result.set("churn", churn_availability());
   std::puts("Paper expectation: joiners enter A on contact and move to W on the");
   std::puts("first formed session; with section 6 the Min_Quorum requirement");
   std::puts("counts the grown W, so the system survives the departure of every");
   std::puts("founder — under the fixed core of section 4.1 it cannot.");
+  emit_bench_result("dynamic_membership", result);
   return 0;
 }

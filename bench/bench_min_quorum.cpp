@@ -17,6 +17,7 @@
 #include <string>
 
 #include "harness/availability.hpp"
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -82,6 +83,10 @@ int main() {
 
   std::puts("(1) shrink the quorum chain 5->3->2->1, then crash the holder and");
   std::puts("    reconnect the other four:");
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E8"));
+  result.set("n", JsonValue(std::uint64_t{kN}));
+  JsonValue shrink_rows = JsonValue::array();
   Table shrink_table({"Min_Quorum", "deepest primary", "other 4 after loss",
                       "always-safe size (> n - Min_Quorum)"});
   for (std::size_t min_quorum : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
@@ -89,13 +94,22 @@ int main() {
     shrink_table.add_row({std::to_string(min_quorum), outcome.deepest,
                           outcome.rest_after_loss,
                           ">= " + std::to_string(kN - min_quorum + 1)});
+    JsonValue row = JsonValue::object();
+    row.set("min_quorum", JsonValue(std::uint64_t{min_quorum}));
+    row.set("deepest_primary", JsonValue(outcome.deepest));
+    row.set("rest_after_loss", JsonValue(outcome.rest_after_loss));
+    row.set("always_safe_size", JsonValue(std::uint64_t{kN - min_quorum + 1}));
+    shrink_rows.push_back(std::move(row));
   }
+  result.set("shrink", std::move(shrink_rows));
   std::printf("%s\n", shrink_table.to_string().c_str());
 
   std::puts("(2) Monte-Carlo availability vs Min_Quorum (paired schedules):");
   Table avail_table({"Min_Quorum", "gap=120ms", "gap=50ms", "gap=25ms"});
+  JsonValue avail_rows = JsonValue::array();
   for (std::size_t min_quorum : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
     std::vector<std::string> row{std::to_string(min_quorum)};
+    JsonValue availability = JsonValue::object();
     for (SimTime gap : {120'000u, 50'000u, 25'000u}) {
       ClusterOptions base;
       base.n = kN;
@@ -107,9 +121,16 @@ int main() {
       const auto results = compare_protocols({ProtocolKind::kOptimized}, base,
                                              schedule, 5);
       row.push_back(format_percent(results[0].availability));
+      availability.set("gap_" + std::to_string(gap),
+                       JsonValue(results[0].availability));
     }
     avail_table.add_row(row);
+    JsonValue json_row = JsonValue::object();
+    json_row.set("min_quorum", JsonValue(std::uint64_t{min_quorum}));
+    json_row.set("availability", std::move(availability));
+    avail_rows.push_back(std::move(json_row));
   }
+  result.set("availability_sweep", std::move(avail_rows));
   std::printf("%s\n", avail_table.to_string().c_str());
 
   std::puts("Paper expectation: with Min_Quorum = 1 the chain reaches a single");
@@ -119,5 +140,6 @@ int main() {
   std::puts("availability sweep shows the trade-off is schedule-dependent —");
   std::puts("the floor costs some availability in deep-partition regimes and");
   std::puts("buys it back whenever small quorums would have died.");
+  emit_bench_result("min_quorum", result);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "util/table.hpp"
@@ -77,26 +78,44 @@ int main() {
       "nobody formed it; k attempters reconnect. Who makes progress?\n\n",
       n);
 
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E6"));
+  result.set("n", JsonValue(std::uint64_t{n}));
+  JsonValue groups = JsonValue::array();
   for (bool include_top : {true, false}) {
     std::printf("reconnecting group %s the top-ranked process p%u:\n",
                 include_top ? "INCLUDES" : "EXCLUDES", n - 1);
     std::vector<std::string> header{"protocol"};
     for (std::uint32_t k = 2; k <= n; ++k) header.push_back("k=" + std::to_string(k));
     Table table(header);
+    JsonValue rows = JsonValue::array();
     for (ProtocolKind kind :
          {ProtocolKind::kBasic, ProtocolKind::kOptimized,
           ProtocolKind::kBlockingDynamic, ProtocolKind::kThreePhaseRecovery}) {
       std::vector<std::string> row{to_string(kind)};
+      JsonValue outcomes = JsonValue::object();
       for (std::uint32_t k = 2; k <= n; ++k) {
-        row.push_back(reconnect_outcome(kind, n, k, include_top));
+        const std::string outcome = reconnect_outcome(kind, n, k, include_top);
+        outcomes.set("k" + std::to_string(k), JsonValue(outcome));
+        row.push_back(outcome);
       }
       table.add_row(row);
+      JsonValue json_row = JsonValue::object();
+      json_row.set("protocol", JsonValue(to_string(kind)));
+      json_row.set("outcomes", std::move(outcomes));
+      rows.push_back(std::move(json_row));
     }
     std::printf("%s\n", table.to_string().c_str());
+    JsonValue group = JsonValue::object();
+    group.set("includes_top_ranked", JsonValue(include_top));
+    group.set("rows", std::move(rows));
+    groups.push_back(std::move(group));
   }
+  result.set("groups", std::move(groups));
 
   std::puts("Paper expectation: ours/optimized/3phase form for every majority");
   std::puts("k > n/2 (and at k = n/2 exactly when the group holds the");
   std::puts("top-ranked process); blocking-dynamic forms only at k = n.");
+  emit_bench_result("progress_after_failure", result);
   return 0;
 }

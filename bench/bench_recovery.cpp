@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_report.hpp"
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "util/table.hpp"
@@ -90,31 +91,59 @@ int main() {
   using namespace dynvote;
   std::printf("E7: recovery after losing the primary component (n = %u)\n\n", kN);
 
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E7"));
+  result.set("n", JsonValue(std::uint64_t{kN}));
+  JsonValue merge_phases = JsonValue::array();
   for (bool mid_formation : {false, true}) {
     std::printf("primary split into three minorities %s:\n",
                 mid_formation ? "DURING quorum formation (attempts lost)"
                               : "after a formed quorum");
     Table table({"protocol", "A+B merge (6/9)", "A+C merge (6/9)",
                  "full merge (9/9)"});
+    JsonValue rows = JsonValue::array();
     for (ProtocolKind kind :
          {ProtocolKind::kBasic, ProtocolKind::kOptimized,
           ProtocolKind::kBlockingDynamic, ProtocolKind::kStaticMajority}) {
-      table.add_row(
-          {to_string(kind),
-           merge_outcome(kind, mid_formation, kFragA.set_union(kFragB)),
-           merge_outcome(kind, mid_formation, kFragA.set_union(kFragC)),
-           merge_outcome(kind, mid_formation, ProcessSet::range(kN))});
+      const std::string ab =
+          merge_outcome(kind, mid_formation, kFragA.set_union(kFragB));
+      const std::string ac =
+          merge_outcome(kind, mid_formation, kFragA.set_union(kFragC));
+      const std::string full =
+          merge_outcome(kind, mid_formation, ProcessSet::range(kN));
+      table.add_row({to_string(kind), ab, ac, full});
+      JsonValue row = JsonValue::object();
+      row.set("protocol", JsonValue(to_string(kind)));
+      row.set("ab_merge", JsonValue(ab));
+      row.set("ac_merge", JsonValue(ac));
+      row.set("full_merge", JsonValue(full));
+      rows.push_back(std::move(row));
     }
     std::printf("%s\n", table.to_string().c_str());
+    JsonValue phase = JsonValue::object();
+    phase.set("mid_formation", JsonValue(mid_formation));
+    phase.set("rows", std::move(rows));
+    merge_phases.push_back(std::move(phase));
   }
+  result.set("merge_recovery", std::move(merge_phases));
 
   std::puts("total cluster crash and restart (n = 5, stable storage):");
   Table crash_table({"protocol", "all disks intact", "2 disks destroyed",
                      "all disks destroyed"});
+  JsonValue crash_rows = JsonValue::array();
   for (ProtocolKind kind : {ProtocolKind::kBasic, ProtocolKind::kOptimized}) {
-    crash_table.add_row({to_string(kind), crash_outcome(kind, 0),
-                         crash_outcome(kind, 2), crash_outcome(kind, 5)});
+    const std::string intact = crash_outcome(kind, 0);
+    const std::string two_lost = crash_outcome(kind, 2);
+    const std::string all_lost = crash_outcome(kind, 5);
+    crash_table.add_row({to_string(kind), intact, two_lost, all_lost});
+    JsonValue row = JsonValue::object();
+    row.set("protocol", JsonValue(to_string(kind)));
+    row.set("disks_intact", JsonValue(intact));
+    row.set("two_disks_destroyed", JsonValue(two_lost));
+    row.set("all_disks_destroyed", JsonValue(all_lost));
+    crash_rows.push_back(std::move(row));
   }
+  result.set("crash_recovery", std::move(crash_rows));
   std::printf("%s\n", crash_table.to_string().c_str());
 
   std::puts("Paper expectation: after a clean split, any majority-of-last-");
@@ -124,5 +153,6 @@ int main() {
   std::puts("recovers from stable storage; destroyed disks reduce availability");
   std::puts("(all-disks-lost can never re-form: Sub_Quorum(∞,T) = FALSE) but");
   std::puts("never consistency (paper footnotes 2 and 4).");
+  emit_bench_result("recovery", result);
   return 0;
 }

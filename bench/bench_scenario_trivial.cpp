@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "harness/bench_report.hpp"
 #include "harness/checker.hpp"
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
@@ -55,7 +56,7 @@ class SessionTableObserver final : public ProtocolObserver {
   std::map<Session, std::map<ProcessId, std::string>> cells_;
 };
 
-void run(ProtocolKind kind) {
+JsonValue run(ProtocolKind kind) {
   ClusterOptions options;
   options.kind = kind;
   options.n = 5;
@@ -99,6 +100,12 @@ void run(ProtocolKind kind) {
   }
   std::printf("%s; split-brain violations: %zu\n\n", live.to_string().c_str(),
               split);
+
+  JsonValue row = JsonValue::object();
+  row.set("protocol", JsonValue(to_string(kind)));
+  row.set("live_primaries", JsonValue(live.to_string()));
+  row.set("split_brain", JsonValue(std::uint64_t{split}));
+  return row;
 }
 
 }  // namespace
@@ -108,11 +115,18 @@ int main() {
   using namespace dynvote;
   std::puts("E2: the trivial 'record only the last attempt' approach (paper 4.6)");
   std::puts("    a..e = p0..p4; the S1/S2/S3/S3' execution from the paper\n");
-  run(ProtocolKind::kLastAttemptOnly);
-  run(ProtocolKind::kBasic);
-  run(ProtocolKind::kOptimized);
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("E2"));
+  result.set("n", JsonValue(std::uint64_t{5}));
+  result.set("seed", JsonValue(std::uint64_t{46}));
+  JsonValue rows = JsonValue::array();
+  rows.push_back(run(ProtocolKind::kLastAttemptOnly));
+  rows.push_back(run(ProtocolKind::kBasic));
+  rows.push_back(run(ProtocolKind::kOptimized));
+  result.set("rows", std::move(rows));
   std::puts("Paper expectation: last-attempt-only forms S3 = ({a,b},2) AND");
   std::puts("S3' = ({c,d,e},3) concurrently (split brain); the full protocols");
   std::puts("form only S3 because c still remembers S1 = ({a,b,c},1).");
+  emit_bench_result("scenario_trivial", result);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/ensure.hpp"
 
@@ -199,6 +201,7 @@ void BasicDvProtocol::record_and_send_attempt(int phase) {
   }
   max_ambiguous_recorded_ =
       std::max(max_ambiguous_recorded_, state_.ambiguous.size());
+  record_ambiguity_level();
   persist();
   notify_attempt(session);
   log(LogLevel::kDebug, "attempts " + session.to_string());
@@ -218,8 +221,16 @@ void BasicDvProtocol::run_form_step(const PhaseMessages& messages) {
   }
   const Session actual{session_view().members, state_.session_number};
   state_.apply_form(make_formed_record(actual));
+  record_ambiguity_level();
   persist();
   mark_primary(actual);
+}
+
+void BasicDvProtocol::record_ambiguity_level() {
+  const auto level = static_cast<std::int64_t>(state_.ambiguous.size());
+  metrics().gauge("dv.ambiguous_recorded").set(level);
+  trace().record({now(), obs::TraceEventKind::kAmbiguityRecord, id(),
+                  ProcessId{}, 0, static_cast<std::uint64_t>(level), {}, {}});
 }
 
 }  // namespace dynvote

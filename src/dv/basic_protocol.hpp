@@ -147,6 +147,12 @@ class BasicDvProtocol : public SessionProtocolBase {
   /// exposes a state change (paper section 4.4).
   void persist();
 
+  /// Records the current |Ambiguous_Sessions| in the trace and the
+  /// "dv.ambiguous_recorded" gauge. Called whenever the record changes
+  /// (attempt recorded, session formed, garbage collection) so the
+  /// trace-replay checker can verify the Theorem-1 bound offline.
+  void record_ambiguity_level();
+
   ProtocolState state_;
   DvConfig config_;
 

@@ -89,6 +89,9 @@ void OptimizedDvProtocol::pre_decision_update(const InfoBySender& infos) {
            formed_by_nobody.contains(amb.session.number);
   });
   gc_deletions_ += before - state_.ambiguous.size();
+  if (to_adopt != nullptr || before != state_.ambiguous.size()) {
+    record_ambiguity_level();
+  }
 }
 
 }  // namespace dynvote

@@ -14,6 +14,7 @@
 #include "dv/observer.hpp"
 #include "dv/session.hpp"
 #include "membership/view.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace dynvote {
@@ -51,6 +52,10 @@ class ProtocolNode : public sim::Node {
     primary_ = session;
     ++formed_count_;
     log(LogLevel::kInfo, "FORMED primary " + session.to_string());
+    trace().record({now(), obs::TraceEventKind::kSessionFormed, id(),
+                    ProcessId{}, session.number,
+                    static_cast<std::uint64_t>(rounds), session.members,
+                    {}});
     if (observer_) observer_->on_formed(now(), id(), session, rounds);
     if (listener_) listener_->on_primary_formed(session);
   }
@@ -59,17 +64,27 @@ class ProtocolNode : public sim::Node {
   void leave_primary() {
     if (!primary_) return;
     primary_.reset();
+    trace().record({now(), obs::TraceEventKind::kPrimaryLost, id(),
+                    ProcessId{}, 0, 0, {}, {}});
     if (observer_) observer_->on_primary_lost(now(), id());
     if (listener_) listener_->on_primary_lost();
   }
 
   void notify_view_installed(const View& view) {
+    trace().record({now(), obs::TraceEventKind::kViewInstalled, id(),
+                    ProcessId{}, static_cast<std::int64_t>(view.id.value()), 0,
+                    view.members, {}});
     if (observer_) observer_->on_view_installed(now(), id(), view);
   }
   void notify_attempt(const Session& session) {
+    trace().record({now(), obs::TraceEventKind::kSessionAttempt, id(),
+                    ProcessId{}, session.number, 0, session.members, {}});
     if (observer_) observer_->on_attempt(now(), id(), session);
   }
   void notify_rejected(const View& view, const std::string& reason) {
+    trace().record({now(), obs::TraceEventKind::kSessionAbort, id(),
+                    ProcessId{}, static_cast<std::int64_t>(view.id.value()), 0,
+                    view.members, reason});
     if (observer_) observer_->on_session_rejected(now(), id(), view, reason);
   }
 

@@ -1,0 +1,42 @@
+#include "harness/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace dynvote {
+
+std::string emit_bench_result(const std::string& name,
+                              const JsonValue& result) {
+  const std::string text = result.dump_pretty();
+  std::printf("%s%s ---\n%s%s\n", kBenchResultBegin, name.c_str(),
+              text.c_str(), kBenchResultEnd);
+  std::fflush(stdout);
+
+  const char* dir = std::getenv("DYNVOTE_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return {};
+  }
+  out << text;
+  return path;
+}
+
+std::string write_json_file(const std::string& filename,
+                            const JsonValue& value) {
+  const char* dir = std::getenv("DYNVOTE_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/" + filename;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return {};
+  }
+  out << value.dump_pretty();
+  return path;
+}
+
+}  // namespace dynvote

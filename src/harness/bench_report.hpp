@@ -1,0 +1,41 @@
+// Machine-readable bench results.
+//
+// Every bench (bench/bench_*.cpp) keeps printing its human-readable
+// tables, and additionally emits one JSON result block through this
+// helper so tools/run_experiments.sh can record the perf trajectory:
+//
+//   --- BENCH_RESULT_JSON <name> ---
+//   { ... }
+//   --- END_BENCH_RESULT_JSON ---
+//
+// The block is written to stdout (between unambiguous markers, so text
+// output stays greppable) and, when the DYNVOTE_JSON_DIR environment
+// variable names a directory, to <dir>/BENCH_<name>.json as well.
+// Payloads are built from deterministic inputs (seeded simulations), so
+// reruns produce byte-identical blocks.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace dynvote {
+
+/// Marker line prefix that opens a result block on stdout.
+inline constexpr const char* kBenchResultBegin = "--- BENCH_RESULT_JSON ";
+/// Marker line that closes a result block on stdout.
+inline constexpr const char* kBenchResultEnd = "--- END_BENCH_RESULT_JSON ---";
+
+/// Emits the block for `name` (e.g. "bench_availability") with `result`
+/// as payload. Returns the path written, or an empty string when
+/// DYNVOTE_JSON_DIR is unset or the file could not be written.
+std::string emit_bench_result(const std::string& name,
+                              const JsonValue& result);
+
+/// Writes `value` to <DYNVOTE_JSON_DIR>/<filename> (e.g. "trace.json").
+/// Returns the path written, or an empty string when DYNVOTE_JSON_DIR is
+/// unset or the file could not be written.
+std::string write_json_file(const std::string& filename,
+                            const JsonValue& value);
+
+}  // namespace dynvote

@@ -20,9 +20,13 @@ Cluster::Cluster(ClusterOptions options)
       sim_(options_.sim),
       checker_(std::make_unique<ConsistencyChecker>(
           config_.core,
-          /*seed_initial=*/options_.kind != ProtocolKind::kStaticMajority)) {
+          /*seed_initial=*/options_.kind != ProtocolKind::kStaticMajority)),
+      metrics_observer_(std::make_unique<MetricsObserver>(sim_.metrics())) {
+  sim_.trace().set_capacity(options_.trace_capacity);
+  sim_.trace().set_messages_enabled(options_.trace_messages);
   observers_.add(checker_.get());
   observers_.add(&trace_);
+  observers_.add(metrics_observer_.get());
   for (ProcessId p : config_.core) add_process(p);
   // The oracle must subscribe after nodes exist but before any topology
   // change, so every view reaches a registered node.
@@ -92,6 +96,24 @@ void Cluster::add_process(ProcessId p) {
   node->set_observer(&observers_);
   sim_.add_node(std::move(node));
   process_ids_.push_back(p);
+}
+
+obs::TraceMeta Cluster::trace_meta() const {
+  obs::TraceMeta meta;
+  meta.protocol = to_string(options_.kind);
+  meta.n = static_cast<std::uint32_t>(config_.core.size());
+  meta.min_quorum = config_.min_quorum;
+  meta.seed = options_.sim.seed;
+  meta.core = config_.core;
+  // Theorem 1 bounds the simultaneously recorded ambiguous sessions of
+  // the garbage-collecting protocol at n − Min_Quorum + 1; the basic
+  // protocol keeps everything (section 4.7) and the section-6 dynamic
+  // membership changes n itself, so no bound is claimed there.
+  if (options_.kind == ProtocolKind::kOptimized &&
+      !config_.dynamic_participants && config_.min_quorum <= meta.n) {
+    meta.ambiguity_bound = meta.n - config_.min_quorum + 1;
+  }
+  return meta;
 }
 
 ProtocolNode& Cluster::protocol(ProcessId p) {

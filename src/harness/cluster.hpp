@@ -39,6 +39,14 @@ struct ClusterOptions {
   /// paper-faithful way to make failures hit quorum formation itself.
   /// Also claims the network's drop-filter slot.
   double formation_miss = 0.0;
+
+  /// Record per-message events (send/drop/deliver) in the structured
+  /// trace. Off by default: availability sweeps exchange millions of
+  /// messages. Protocol and topology events are always recorded.
+  bool trace_messages = false;
+
+  /// Ring-buffer capacity of the structured trace (0 = unbounded).
+  std::size_t trace_capacity = 0;
 };
 
 class Cluster {
@@ -54,6 +62,12 @@ class Cluster {
   [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
   [[nodiscard]] const DvConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ProcessSet& core() const noexcept { return config_.core; }
+
+  /// Run description for exporting the structured trace
+  /// (sim().trace()) via trace_to_json. ambiguity_bound is the Theorem-1
+  /// limit n − Min_Quorum + 1 for the protocols that enforce it (the
+  /// optimized protocol with a static participant set), 0 otherwise.
+  [[nodiscard]] obs::TraceMeta trace_meta() const;
 
   [[nodiscard]] ProtocolNode& protocol(ProcessId p);
   [[nodiscard]] PrimaryComponentService service(ProcessId p) {
@@ -103,6 +117,7 @@ class Cluster {
   sim::Simulator sim_;
   std::unique_ptr<ConsistencyChecker> checker_;
   TraceRecorder trace_;
+  std::unique_ptr<MetricsObserver> metrics_observer_;
   MultiObserver observers_;
   std::unique_ptr<MembershipOracle> oracle_;
   std::unique_ptr<Rng> loss_rng_;

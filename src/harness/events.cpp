@@ -73,4 +73,38 @@ std::string TraceRecorder::to_string() const {
   return out.str();
 }
 
+MetricsObserver::MetricsObserver(obs::MetricsRegistry& registry)
+    : views_(registry.counter("dv.views_installed")),
+      attempts_(registry.counter("dv.attempts")),
+      formed_(registry.counter("dv.formed")),
+      primary_lost_(registry.counter("dv.primary_lost")),
+      rejected_(registry.counter("dv.rejected")),
+      rounds_(registry.histogram("dv.rounds_per_form")) {}
+
+void MetricsObserver::on_view_installed(SimTime /*time*/, ProcessId /*p*/,
+                                        const View& /*view*/) {
+  views_.increment();
+}
+
+void MetricsObserver::on_attempt(SimTime /*time*/, ProcessId /*p*/,
+                                 const Session& /*session*/) {
+  attempts_.increment();
+}
+
+void MetricsObserver::on_formed(SimTime /*time*/, ProcessId /*p*/,
+                                const Session& /*session*/, int rounds) {
+  formed_.increment();
+  rounds_.observe(static_cast<std::uint64_t>(rounds < 0 ? 0 : rounds));
+}
+
+void MetricsObserver::on_primary_lost(SimTime /*time*/, ProcessId /*p*/) {
+  primary_lost_.increment();
+}
+
+void MetricsObserver::on_session_rejected(SimTime /*time*/, ProcessId /*p*/,
+                                          const View& /*view*/,
+                                          const std::string& /*reason*/) {
+  rejected_.increment();
+}
+
 }  // namespace dynvote

@@ -1,10 +1,11 @@
-// Observer plumbing: fan-out and human-readable traces.
+// Observer plumbing: fan-out, human-readable traces, metrics bridge.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "dv/observer.hpp"
+#include "obs/metrics.hpp"
 
 namespace dynvote {
 
@@ -59,6 +60,31 @@ class TraceRecorder final : public ProtocolObserver {
   void add(SimTime time, ProcessId p, std::string text);
 
   std::vector<Entry> entries_;
+};
+
+/// Bridges protocol events into a MetricsRegistry: session counters plus
+/// a rounds-per-formation histogram. The cluster installs one against
+/// the simulation's registry, so protocol-level counts ship in the same
+/// JSON export as the network counters.
+class MetricsObserver final : public ProtocolObserver {
+ public:
+  explicit MetricsObserver(obs::MetricsRegistry& registry);
+
+  void on_view_installed(SimTime time, ProcessId p, const View& view) override;
+  void on_attempt(SimTime time, ProcessId p, const Session& session) override;
+  void on_formed(SimTime time, ProcessId p, const Session& session,
+                 int rounds) override;
+  void on_primary_lost(SimTime time, ProcessId p) override;
+  void on_session_rejected(SimTime time, ProcessId p, const View& view,
+                           const std::string& reason) override;
+
+ private:
+  obs::Counter& views_;
+  obs::Counter& attempts_;
+  obs::Counter& formed_;
+  obs::Counter& primary_lost_;
+  obs::Counter& rejected_;
+  obs::Histogram& rounds_;
 };
 
 }  // namespace dynvote

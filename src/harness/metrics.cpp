@@ -41,6 +41,24 @@ double RunMetrics::bytes_per_formed() const {
                    static_cast<double>(formed_sessions);
 }
 
+JsonValue RunMetrics::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("messages_sent", JsonValue(messages_sent));
+  out.set("messages_loopback", JsonValue(messages_loopback));
+  out.set("messages_delivered", JsonValue(messages_delivered));
+  out.set("messages_dropped", JsonValue(messages_dropped));
+  out.set("bytes_sent", JsonValue(bytes_sent));
+  out.set("storage_writes", JsonValue(storage_writes));
+  out.set("storage_bytes", JsonValue(storage_bytes));
+  out.set("form_events", JsonValue(form_events));
+  out.set("formed_sessions", JsonValue(formed_sessions));
+  out.set("mean_rounds", JsonValue(mean_rounds));
+  out.set("max_rounds", JsonValue(max_rounds));
+  out.set("messages_per_formed", JsonValue(messages_per_formed()));
+  out.set("bytes_per_formed", JsonValue(bytes_per_formed()));
+  return out;
+}
+
 std::string RunMetrics::to_string() const {
   std::ostringstream out;
   out << "msgs=" << messages_sent << " (delivered " << messages_delivered

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/cluster.hpp"
+#include "util/json.hpp"
 
 namespace dynvote {
 
@@ -36,6 +37,10 @@ struct RunMetrics {
   [[nodiscard]] double bytes_per_formed() const;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Flat object with every field — the per-run block of the bench JSON
+  /// exports.
+  [[nodiscard]] JsonValue to_json() const;
 };
 
 }  // namespace dynvote

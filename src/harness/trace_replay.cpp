@@ -1,0 +1,157 @@
+#include "harness/trace_replay.hpp"
+
+#include <algorithm>
+
+namespace dynvote {
+
+namespace {
+
+constexpr int kTraceSchemaVersion = 1;
+
+obs::TraceEventKind kind_from_string(std::string_view s) {
+  using K = obs::TraceEventKind;
+  for (const K k :
+       {K::kMessageSend, K::kMessageDrop, K::kMessageDeliver,
+        K::kTopologyChange, K::kProcessCrash, K::kProcessRecover,
+        K::kViewInstalled, K::kSessionAttempt, K::kSessionFormed,
+        K::kSessionAbort, K::kPrimaryLost, K::kAmbiguityRecord}) {
+    if (to_string(k) == s) return k;
+  }
+  throw JsonError("trace: unknown event kind '" + std::string(s) + "'");
+}
+
+JsonValue process_set_to_json(const ProcessSet& set) {
+  JsonValue arr = JsonValue::array();
+  for (const ProcessId p : set) {
+    arr.push_back(JsonValue(static_cast<std::uint64_t>(p.value())));
+  }
+  return arr;
+}
+
+ProcessSet process_set_from_json(const JsonValue& value) {
+  std::vector<ProcessId> members;
+  for (const JsonValue& entry : value.as_array()) {
+    members.emplace_back(static_cast<std::uint32_t>(entry.as_uint()));
+  }
+  return ProcessSet(std::move(members));
+}
+
+}  // namespace
+
+TraceCheckResult check_trace(const TraceMetaAndEvents& trace) {
+  TraceCheckResult result;
+  result.ambiguity_bound = trace.meta.ambiguity_bound;
+
+  ConsistencyChecker checker(trace.meta.core, /*seed_initial=*/true);
+  for (const obs::TraceEvent& event : trace.events) {
+    switch (event.kind) {
+      case obs::TraceEventKind::kSessionAttempt:
+        ++result.attempts;
+        checker.on_attempt(event.time, event.a,
+                           Session{event.members, event.number});
+        break;
+      case obs::TraceEventKind::kSessionFormed:
+        checker.on_formed(event.time, event.a,
+                          Session{event.members, event.number},
+                          static_cast<int>(event.value));
+        break;
+      case obs::TraceEventKind::kPrimaryLost:
+        checker.on_primary_lost(event.time, event.a);
+        break;
+      case obs::TraceEventKind::kSessionAbort:
+        ++result.aborts;
+        checker.on_session_rejected(
+            event.time, event.a,
+            View{ViewId(static_cast<std::uint64_t>(event.number)),
+                 event.members},
+            event.detail);
+        break;
+      case obs::TraceEventKind::kAmbiguityRecord:
+        result.max_ambiguous = std::max(result.max_ambiguous, event.value);
+        break;
+      default:
+        break;  // message/topology events carry no correctness obligations
+    }
+  }
+  result.violations = checker.check_all();
+  result.formed_sessions = checker.formed_session_count();
+  if (result.ambiguity_bound != 0) {
+    result.ambiguity_ok = result.max_ambiguous <= result.ambiguity_bound;
+  }
+  return result;
+}
+
+JsonValue trace_to_json(const obs::TraceMeta& meta,
+                        const obs::TraceSink& sink) {
+  JsonValue meta_json = JsonValue::object();
+  meta_json.set("version", JsonValue(kTraceSchemaVersion));
+  meta_json.set("protocol", JsonValue(meta.protocol));
+  meta_json.set("n", JsonValue(static_cast<std::uint64_t>(meta.n)));
+  meta_json.set("min_quorum",
+                JsonValue(static_cast<std::uint64_t>(meta.min_quorum)));
+  meta_json.set("seed", JsonValue(meta.seed));
+  meta_json.set("core", process_set_to_json(meta.core));
+  meta_json.set("ambiguity_bound",
+                JsonValue(static_cast<std::uint64_t>(meta.ambiguity_bound)));
+  meta_json.set("overwritten", JsonValue(sink.overwritten()));
+
+  JsonValue events = JsonValue::array();
+  for (const obs::TraceEvent& event : sink.events()) {
+    JsonValue e = JsonValue::object();
+    e.set("t", JsonValue(event.time));
+    e.set("k", JsonValue(to_string(event.kind)));
+    e.set("a", JsonValue(static_cast<std::uint64_t>(event.a.value())));
+    // Zero-valued fields are omitted: they are the defaults the loader
+    // restores, and dropping them keeps big traces compact.
+    if (event.b != ProcessId{}) {
+      e.set("b", JsonValue(static_cast<std::uint64_t>(event.b.value())));
+    }
+    if (event.number != 0) e.set("n", JsonValue(event.number));
+    if (event.value != 0) e.set("v", JsonValue(event.value));
+    if (!event.members.empty()) e.set("m", process_set_to_json(event.members));
+    if (!event.detail.empty()) e.set("d", JsonValue(event.detail));
+    events.push_back(std::move(e));
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("meta", std::move(meta_json));
+  out.set("events", std::move(events));
+  return out;
+}
+
+TraceMetaAndEvents load_trace_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  TraceMetaAndEvents out;
+
+  const JsonValue& meta = doc.at("meta");
+  if (meta.at("version").as_int() != kTraceSchemaVersion) {
+    throw JsonError("trace: unsupported schema version");
+  }
+  out.meta.protocol = meta.at("protocol").as_string();
+  out.meta.n = static_cast<std::uint32_t>(meta.at("n").as_uint());
+  out.meta.min_quorum = static_cast<std::size_t>(meta.at("min_quorum").as_uint());
+  out.meta.seed = meta.at("seed").as_uint();
+  out.meta.core = process_set_from_json(meta.at("core"));
+  out.meta.ambiguity_bound =
+      static_cast<std::size_t>(meta.at("ambiguity_bound").as_uint());
+
+  for (const JsonValue& e : doc.at("events").as_array()) {
+    obs::TraceEvent event;
+    event.time = e.at("t").as_uint();
+    event.kind = kind_from_string(e.at("k").as_string());
+    event.a = ProcessId(static_cast<std::uint32_t>(e.at("a").as_uint()));
+    if (const JsonValue* b = e.find("b")) {
+      event.b = ProcessId(static_cast<std::uint32_t>(b->as_uint()));
+    }
+    if (const JsonValue* n = e.find("n")) event.number = n->as_int();
+    if (const JsonValue* v = e.find("v")) event.value = v->as_uint();
+    if (const JsonValue* m = e.find("m")) {
+      event.members = process_set_from_json(*m);
+    }
+    if (const JsonValue* d = e.find("d")) event.detail = d->as_string();
+    out.events.push_back(std::move(event));
+  }
+  return out;
+}
+
+}  // namespace dynvote

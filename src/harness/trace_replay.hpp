@@ -1,0 +1,65 @@
+// Trace replay: re-verifying correctness claims from an exported trace.
+//
+// The structured trace (obs/trace.hpp) records every session attempt,
+// formation, abort, and ambiguous-record level. Replaying those events
+// through a fresh ConsistencyChecker re-establishes C1 — the transitive
+// participation order over formed primary components is total (paper
+// section 2) — and checks the Theorem-1 ambiguity bound
+// (n − Min_Quorum + 1) without access to the live run: a trace.json file
+// is sufficient evidence. This is the "checker trace-replay mode": the
+// same verdicts the in-process checker reaches, reproduced offline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/checker.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace dynvote {
+
+/// Verdict of a trace replay.
+struct TraceCheckResult {
+  /// V1..V4 violations found by the replayed ConsistencyChecker.
+  std::vector<Violation> violations;
+  std::size_t formed_sessions = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t aborts = 0;
+  /// Highest ambiguous-record level any process reported.
+  std::uint64_t max_ambiguous = 0;
+  /// The bound from the trace meta (0 = not applicable / not checked).
+  std::size_t ambiguity_bound = 0;
+  /// True iff no bound applies or max_ambiguous stayed within it.
+  bool ambiguity_ok = true;
+
+  [[nodiscard]] bool consistent() const noexcept {
+    return violations.empty() && ambiguity_ok;
+  }
+};
+
+/// A parsed (or about-to-be-exported) trace: the run description plus the
+/// event sequence.
+struct TraceMetaAndEvents {
+  obs::TraceMeta meta;
+  std::vector<obs::TraceEvent> events;
+};
+
+/// Feeds the protocol-level events of `trace` through a fresh
+/// ConsistencyChecker (seeded from meta.core) and evaluates the ambiguity
+/// bound in meta.ambiguity_bound.
+[[nodiscard]] TraceCheckResult check_trace(const TraceMetaAndEvents& trace);
+
+/// Serializes meta + the sink's events to the deterministic trace.json
+/// schema (see docs/PROTOCOL.md "Tracing & metrics").
+[[nodiscard]] JsonValue trace_to_json(const obs::TraceMeta& meta,
+                                      const obs::TraceSink& sink);
+
+/// Parses a trace.json document produced by trace_to_json. Throws
+/// JsonError on schema violations.
+[[nodiscard]] TraceMetaAndEvents load_trace_json(std::string_view text);
+
+}  // namespace dynvote

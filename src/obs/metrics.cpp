@@ -1,0 +1,70 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace dynvote::obs {
+
+Histogram::Histogram() : buckets_(64, 0) {}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  // Bucket i counts values in (2^(i-1), 2^i]; value 0 and 1 land in
+  // bucket 0. bit_width(v-1) is the index of the smallest power of two
+  // >= v.
+  const std::size_t bucket =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value - 1));
+  buckets_[bucket < buckets_.size() ? bucket : buckets_.size() - 1] += 1;
+}
+
+void Histogram::reset() noexcept {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  buckets_.assign(buckets_.size(), 0);
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, JsonValue(c.value()));
+  }
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("value", JsonValue(g.value()));
+    entry.set("max", JsonValue(g.max()));
+    gauges.set(name, std::move(entry));
+  }
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(h.count()));
+    entry.set("sum", JsonValue(h.sum()));
+    entry.set("min", JsonValue(h.min()));
+    entry.set("max", JsonValue(h.max()));
+    entry.set("mean", JsonValue(h.mean()));
+    histograms.set(name, std::move(entry));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace dynvote::obs

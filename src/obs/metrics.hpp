@@ -1,0 +1,123 @@
+// Counters, gauges, and histograms for the simulator and protocol stack.
+//
+// MetricsRegistry replaces the ad-hoc counter structs that used to live
+// in sim::Network and the harness: instrumented code asks the registry
+// for a named instrument once (cheap name lookup at wiring time, plain
+// integer increments on the hot path) and the harness/benches export the
+// whole registry as JSON.
+//
+// Determinism: instruments live in a std::map keyed by name, so both
+// iteration order and the JSON export are independent of registration
+// order; node-based storage keeps instrument pointers stable across
+// later registrations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dynvote::obs {
+
+/// A monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept { value_ += delta; }
+  void increment() noexcept { ++value_; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (e.g. currently recorded ambiguous sessions).
+/// Tracks the maximum it ever held, which is what the Theorem-1 bound
+/// constrains.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  void reset() noexcept { value_ = 0; max_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// A distribution summarized by count/sum/min/max plus fixed power-of-two
+/// buckets (upper bounds 1, 2, 4, ... 2^62, +inf). Good enough for round
+/// counts and latencies without per-metric configuration.
+class Histogram {
+ public:
+  Histogram();
+
+  void observe(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  void reset() noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::vector<std::uint64_t> buckets_;  // 64 entries; bucket i counts
+                                        // values v with 2^(i-1) < v <= 2^i
+                                        // (bucket 0: v <= 1).
+};
+
+/// Named instruments. Lookup creates on first use; references stay valid
+/// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Counter value, or 0 when the counter was never touched (does not
+  /// create the instrument — safe on a const registry).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Zeroes every registered instrument (registrations survive, so cached
+  /// instrument pointers stay valid).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {name: {"value","max"}},
+  ///  "histograms": {name: {"count","sum","min","max","mean"}}}.
+  /// Empty buckets are omitted to keep exports small.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dynvote::obs

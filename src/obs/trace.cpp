@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+namespace dynvote::obs {
+
+std::string_view to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kMessageSend:
+      return "send";
+    case TraceEventKind::kMessageDrop:
+      return "drop";
+    case TraceEventKind::kMessageDeliver:
+      return "deliver";
+    case TraceEventKind::kTopologyChange:
+      return "topology";
+    case TraceEventKind::kProcessCrash:
+      return "crash";
+    case TraceEventKind::kProcessRecover:
+      return "recover";
+    case TraceEventKind::kViewInstalled:
+      return "view";
+    case TraceEventKind::kSessionAttempt:
+      return "attempt";
+    case TraceEventKind::kSessionFormed:
+      return "formed";
+    case TraceEventKind::kSessionAbort:
+      return "abort";
+    case TraceEventKind::kPrimaryLost:
+      return "primary_lost";
+    case TraceEventKind::kAmbiguityRecord:
+      return "ambiguity";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::kFilter:
+      return "filter";
+    case DropCause::kDisconnected:
+      return "disconnected";
+    case DropCause::kLinkEpoch:
+      return "link_epoch";
+  }
+  return "unknown";
+}
+
+void TraceSink::record(TraceEvent event) {
+  switch (event.kind) {
+    case TraceEventKind::kMessageSend:
+    case TraceEventKind::kMessageDrop:
+    case TraceEventKind::kMessageDeliver:
+      if (!messages_) return;
+      break;
+    default:
+      break;
+  }
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++overwritten_;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ != 0) {
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+      ++overwritten_;
+    }
+  }
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  overwritten_ = 0;
+}
+
+}  // namespace dynvote::obs

@@ -1,0 +1,122 @@
+// Structured, deterministic event tracing.
+//
+// The TraceSink is the machine-readable counterpart of the narrative
+// TraceRecorder in harness/events.hpp: instead of prose it records flat
+// TraceEvent structs — message send/drop/deliver with cause, session
+// attempt/form/abort with the eligibility verdict, topology changes,
+// crashes and recoveries, and ambiguous-record high-water marks. The
+// harness replays these events through the consistency checker
+// (harness/trace_replay.hpp) to re-verify C1 and the Theorem-1 ambiguity
+// bound from an exported trace alone.
+//
+// Determinism guarantee: events are recorded synchronously from the
+// single-threaded simulator, ordered by the event queue; two runs with
+// the same RNG seed record identical sequences, and the JSON export is
+// byte-identical (see util/json.hpp).
+//
+// Memory: the sink is ring-buffered. Protocol/topology events are always
+// recorded; per-message events are opt-in (set_messages_enabled) because
+// long availability sweeps exchange millions of messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kMessageSend,      // a = from, b = to, detail = payload type
+  kMessageDrop,      // a = from, b = to, value = DropCause, detail = type
+  kMessageDeliver,   // a = from, b = to, detail = payload type
+  kTopologyChange,   // members = one component (one event per component)
+  kProcessCrash,     // a = process
+  kProcessRecover,   // a = process
+  kViewInstalled,    // a = process, number = view id, members = view
+  kSessionAttempt,   // a = process, number = session, members = attempt set
+  kSessionFormed,    // a = process, number = session, members, value = rounds
+  kSessionAbort,     // a = process, number = view id, members, detail = reason
+  kPrimaryLost,      // a = process
+  kAmbiguityRecord,  // a = process, value = #ambiguous sessions now recorded
+};
+
+/// Why a message never reached its destination.
+enum class DropCause : std::uint8_t {
+  kFilter = 0,        // fault-injection drop filter at send time
+  kDisconnected = 1,  // sender and receiver not connected at send time
+  kLinkEpoch = 2,     // link was cut (or endpoint crashed) while in flight
+};
+
+[[nodiscard]] std::string_view to_string(TraceEventKind kind);
+[[nodiscard]] std::string_view to_string(DropCause cause);
+
+/// One flat trace record. Field meaning depends on `kind` (see the enum
+/// comments); unused fields keep their zero defaults and are omitted from
+/// the JSON export.
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventKind kind = TraceEventKind::kMessageSend;
+  ProcessId a;
+  ProcessId b;
+  std::int64_t number = 0;
+  std::uint64_t value = 0;
+  ProcessSet members;
+  std::string detail;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Run-level context exported alongside the events so a trace file is
+/// self-describing: replay needs the core set, Min_Quorum, and whether
+/// the Theorem-1 ambiguity bound applies to the traced protocol.
+struct TraceMeta {
+  std::string protocol;
+  std::uint32_t n = 0;
+  std::size_t min_quorum = 0;
+  std::uint64_t seed = 0;
+  ProcessSet core;
+  /// Theorem-1 bound on simultaneously recorded ambiguous sessions
+  /// (n − Min_Quorum + 1); 0 disables the check (protocols that do not
+  /// garbage-collect, or runs with dynamic membership).
+  std::size_t ambiguity_bound = 0;
+};
+
+/// Ring buffer of TraceEvents.
+class TraceSink {
+ public:
+  /// `capacity` 0 means unbounded.
+  explicit TraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void record(TraceEvent event);
+
+  /// Per-message events (send/drop/deliver) are skipped unless enabled.
+  void set_messages_enabled(bool enabled) noexcept { messages_ = enabled; }
+  [[nodiscard]] bool messages_enabled() const noexcept { return messages_; }
+
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// Events evicted by the ring bound since the last clear().
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return overwritten_;
+  }
+
+ private:
+  std::size_t capacity_;
+  bool messages_ = false;
+  std::deque<TraceEvent> events_;
+  std::uint64_t overwritten_ = 0;
+};
+
+}  // namespace dynvote::obs

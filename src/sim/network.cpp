@@ -15,8 +15,23 @@ std::pair<ProcessId, ProcessId> ordered_pair(ProcessId a, ProcessId b) {
 }  // namespace
 
 Network::Network(EventQueue& queue, Rng rng, Logger& logger,
-                 LatencyModel latency)
-    : queue_(queue), rng_(rng), logger_(logger), latency_(latency) {
+                 LatencyModel latency, obs::TraceSink& trace,
+                 obs::MetricsRegistry& metrics)
+    : queue_(queue),
+      rng_(rng),
+      logger_(logger),
+      latency_(latency),
+      trace_(trace),
+      metrics_(metrics),
+      sent_(metrics.counter("net.messages_sent")),
+      loopback_(metrics.counter("net.messages_loopback")),
+      delivered_(metrics.counter("net.messages_delivered")),
+      filtered_(metrics.counter("net.messages_filtered")),
+      unroutable_(metrics.counter("net.messages_unroutable")),
+      lost_in_flight_(metrics.counter("net.messages_lost_in_flight")),
+      bytes_sent_(metrics.counter("net.bytes_sent")),
+      bytes_rejected_(metrics.counter("net.bytes_rejected")),
+      topology_changes_(metrics.counter("net.topology_changes")) {
   ensure(latency_.min <= latency_.max, "latency model min > max");
 }
 
@@ -34,6 +49,15 @@ void Network::set_delivery_handler(ProcessId p,
   entries_.at(p).handler = std::move(handler);
 }
 
+std::map<ProcessId, Network::ConnectivityEntry>
+Network::snapshot_connectivity() const {
+  std::map<ProcessId, ConnectivityEntry> out;
+  for (const auto& [p, entry] : entries_) {
+    out.emplace(p, ConnectivityEntry{entry.alive, entry.component});
+  }
+  return out;
+}
+
 void Network::set_components(const std::vector<ProcessSet>& groups) {
   // Validate disjointness before mutating anything.
   ProcessSet seen;
@@ -43,7 +67,7 @@ void Network::set_components(const std::vector<ProcessSet>& groups) {
       ensure(seen.insert(p), "set_components: process in two groups");
     }
   }
-  const auto before = entries_;
+  const auto before = snapshot_connectivity();
   for (const ProcessSet& group : groups) {
     const std::uint32_t component = next_component_++;
     for (ProcessId p : group) entries_.at(p).component = component;
@@ -54,6 +78,7 @@ void Network::set_components(const std::vector<ProcessSet>& groups) {
     for (const auto& c : live_components()) s += " " + c.to_string();
     return s;
   }());
+  record_topology();
   notify_topology_changed();
 }
 
@@ -65,7 +90,7 @@ void Network::merge_all() {
 void Network::set_alive(ProcessId p, bool alive) {
   ensure(entries_.contains(p), "unknown process");
   if (entries_.at(p).alive == alive) return;
-  const auto before = entries_;
+  const auto before = snapshot_connectivity();
   entries_.at(p).alive = alive;
   if (alive) {
     // A recovering process comes back in its own fresh component; a merge
@@ -75,6 +100,16 @@ void Network::set_alive(ProcessId p, bool alive) {
   bump_epochs_for_disconnections(before);
   logger_.log(queue_.now(), LogLevel::kDebug, "net",
               to_string(p) + (alive ? " recovered" : " crashed"));
+  trace_.record({queue_.now(),
+                 alive ? obs::TraceEventKind::kProcessRecover
+                       : obs::TraceEventKind::kProcessCrash,
+                 p,
+                 ProcessId{},
+                 0,
+                 0,
+                 {},
+                 {}});
+  record_topology();
   notify_topology_changed();
 }
 
@@ -116,7 +151,7 @@ ProcessSet Network::component_of(ProcessId p) const {
 }
 
 void Network::bump_epochs_for_disconnections(
-    const std::map<ProcessId, ProcessEntry>& before) {
+    const std::map<ProcessId, ConnectivityEntry>& before) {
   auto was_connected = [&](ProcessId a, ProcessId b) {
     const auto& ea = before.at(a);
     const auto& eb = before.at(b);
@@ -127,8 +162,22 @@ void Network::bump_epochs_for_disconnections(
       if (!(a < b)) continue;
       if (was_connected(a, b) && !connected(a, b)) {
         ++link_epochs_[ordered_pair(a, b)];
+        // The cut loses everything in flight on this pair, so the FIFO
+        // tail must not constrain the healed link: without this erase the
+        // first message after a heal is delayed behind ghosts of messages
+        // that were dropped by the epoch check.
+        last_scheduled_delivery_.erase({a, b});
+        last_scheduled_delivery_.erase({b, a});
       }
     }
+  }
+}
+
+void Network::record_topology() {
+  topology_changes_.increment();
+  for (const ProcessSet& component : live_components()) {
+    trace_.record({queue_.now(), obs::TraceEventKind::kTopologyChange,
+                   ProcessId{}, ProcessId{}, 0, 0, component, {}});
   }
 }
 
@@ -145,25 +194,50 @@ void Network::add_topology_observer(TopologyObserver observer) {
   observers_.push_back(std::move(observer));
 }
 
+void Network::count_drop(const Envelope& env, obs::DropCause cause) {
+  switch (cause) {
+    case obs::DropCause::kFilter:
+      filtered_.increment();
+      break;
+    case obs::DropCause::kDisconnected:
+      unroutable_.increment();
+      break;
+    case obs::DropCause::kLinkEpoch:
+      lost_in_flight_.increment();
+      break;
+  }
+  trace_.record({queue_.now(), obs::TraceEventKind::kMessageDrop, env.from,
+                 env.to, 0, static_cast<std::uint64_t>(cause),
+                 {},
+                 env.payload->type_name()});
+}
+
 void Network::send(Envelope env) {
   ensure(entries_.contains(env.from) && entries_.contains(env.to),
          "send between unknown processes");
   ensure(env.payload != nullptr, "null payload");
-  ++stats_.messages_sent;
-  if (env.from == env.to) ++stats_.messages_loopback;
-  stats_.bytes_sent += env.payload->encoded_size();
+  sent_.increment();
+  if (env.from == env.to) loopback_.increment();
+  const std::size_t size = env.payload->encoded_size();
 
   if (drop_filter_ && drop_filter_(env)) {
-    ++stats_.messages_dropped;
+    bytes_rejected_.add(size);
+    count_drop(env, obs::DropCause::kFilter);
     logger_.log(queue_.now(), LogLevel::kDebug, "net",
                 "filter dropped " + env.payload->type_name() + " " +
                     to_string(env.from) + "->" + to_string(env.to));
     return;
   }
   if (!connected(env.from, env.to)) {
-    ++stats_.messages_dropped;
+    bytes_rejected_.add(size);
+    count_drop(env, obs::DropCause::kDisconnected);
     return;
   }
+  // Only traffic actually admitted to a channel counts as sent bytes; the
+  // communication benches must not bill filtered or unroutable messages.
+  bytes_sent_.add(size);
+  trace_.record({queue_.now(), obs::TraceEventKind::kMessageSend, env.from,
+                 env.to, 0, 0, {}, env.payload->type_name()});
 
   const std::uint64_t epoch = link_epoch(env.from, env.to);
   SimTime when;
@@ -189,13 +263,36 @@ void Network::deliver(Envelope env, std::uint64_t epoch_at_send) {
   // section 3.
   if (!connected(env.from, env.to) ||
       link_epoch(env.from, env.to) != epoch_at_send) {
-    ++stats_.messages_dropped;
+    count_drop(env, obs::DropCause::kLinkEpoch);
     return;
   }
   const auto& handler = entries_.at(env.to).handler;
   ensure(static_cast<bool>(handler), "no delivery handler installed");
-  ++stats_.messages_delivered;
+  delivered_.increment();
+  trace_.record({queue_.now(), obs::TraceEventKind::kMessageDeliver, env.from,
+                 env.to, 0, 0, {}, env.payload->type_name()});
   handler(std::move(env));
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats out;
+  out.messages_sent = sent_.value();
+  out.messages_loopback = loopback_.value();
+  out.messages_delivered = delivered_.value();
+  out.messages_filtered = filtered_.value();
+  out.messages_unroutable = unroutable_.value();
+  out.messages_lost_in_flight = lost_in_flight_.value();
+  out.messages_dropped = out.messages_filtered + out.messages_unroutable +
+                         out.messages_lost_in_flight;
+  out.bytes_sent = bytes_sent_.value();
+  out.bytes_rejected = bytes_rejected_.value();
+  return out;
+}
+
+std::optional<SimTime> Network::fifo_tail(ProcessId from, ProcessId to) const {
+  const auto it = last_scheduled_delivery_.find({from, to});
+  if (it == last_scheduled_delivery_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace dynvote::sim

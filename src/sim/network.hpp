@@ -10,15 +10,25 @@
 // one component; two processes are connected iff they are both alive and
 // in the same component. A per-pair "link epoch" is bumped whenever a
 // pair becomes disconnected, so a message sent before a partition is not
-// resurrected by a later merge.
+// resurrected by a later merge. Bumping an epoch also clears the pair's
+// FIFO bookkeeping: a message that died with the old link must not delay
+// traffic on the healed one.
+//
+// Observability: every send/drop/delivery and topology change is counted
+// in the simulation's MetricsRegistry and (optionally) recorded in its
+// TraceSink; NetworkStats is now a read-only snapshot assembled from
+// those counters.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
 #include "util/ids.hpp"
@@ -34,15 +44,18 @@ struct LatencyModel {
   SimTime max = 160;
 };
 
-/// Counters for the communication benchmarks.
+/// Read-only snapshot of the network counters (assembled from the
+/// MetricsRegistry — see Network::stats()).
 struct NetworkStats {
-  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_sent = 0;      // every send() call
   std::uint64_t messages_loopback = 0;  // self-deliveries (subset of sent)
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  // partition loss, crashes, filters
-  std::uint64_t bytes_sent = 0;
-
-  void reset() { *this = NetworkStats{}; }
+  std::uint64_t messages_dropped = 0;   // filtered + unroutable + lost
+  std::uint64_t messages_filtered = 0;  // fault-injection drop filter
+  std::uint64_t messages_unroutable = 0;    // disconnected at send time
+  std::uint64_t messages_lost_in_flight = 0;  // link cut while in flight
+  std::uint64_t bytes_sent = 0;      // admitted to a channel only
+  std::uint64_t bytes_rejected = 0;  // filtered or unroutable at send
 };
 
 class Network {
@@ -56,7 +69,8 @@ class Network {
   /// crash, recovery). The membership oracle subscribes to this.
   using TopologyObserver = std::function<void()>;
 
-  Network(EventQueue& queue, Rng rng, Logger& logger, LatencyModel latency);
+  Network(EventQueue& queue, Rng rng, Logger& logger, LatencyModel latency,
+          obs::TraceSink& trace, obs::MetricsRegistry& metrics);
 
   /// Registers a process. All processes start alive, each in its own
   /// singleton component until set_components is called.
@@ -104,8 +118,15 @@ class Network {
 
   void add_topology_observer(TopologyObserver observer);
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
-  NetworkStats& mutable_stats() noexcept { return stats_; }
+  /// Snapshot of the network counters in the metrics registry.
+  [[nodiscard]] NetworkStats stats() const;
+
+  /// The pending FIFO tail for the directional channel from -> to: the
+  /// latest delivery time already handed out, which the next send may not
+  /// precede. Empty when the channel has no outstanding FIFO constraint
+  /// (never used, or cleared by an epoch bump). Exposed for tests.
+  [[nodiscard]] std::optional<SimTime> fifo_tail(ProcessId from,
+                                                 ProcessId to) const;
 
  private:
   struct ProcessEntry {
@@ -114,18 +135,32 @@ class Network {
     std::function<void(Envelope)> handler;
   };
 
+  /// Connectivity-only snapshot used to detect disconnections across a
+  /// topology change. Deliberately excludes the delivery handler so
+  /// snapshotting does not copy std::function objects.
+  struct ConnectivityEntry {
+    bool alive = false;
+    std::uint32_t component = 0;
+  };
+
   using Pair = std::pair<ProcessId, ProcessId>;
 
+  [[nodiscard]] std::map<ProcessId, ConnectivityEntry> snapshot_connectivity()
+      const;
   void bump_epochs_for_disconnections(
-      const std::map<ProcessId, ProcessEntry>& before);
+      const std::map<ProcessId, ConnectivityEntry>& before);
+  void record_topology();
   void notify_topology_changed();
   std::uint64_t link_epoch(ProcessId a, ProcessId b) const;
+  void count_drop(const Envelope& env, obs::DropCause cause);
   void deliver(Envelope env, std::uint64_t epoch_at_send);
 
   EventQueue& queue_;
   Rng rng_;
   Logger& logger_;
   LatencyModel latency_;
+  obs::TraceSink& trace_;
+  obs::MetricsRegistry& metrics_;
   ProcessSet processes_;
   std::map<ProcessId, ProcessEntry> entries_;
   std::map<Pair, std::uint64_t> link_epochs_;
@@ -133,7 +168,17 @@ class Network {
   std::uint32_t next_component_ = 1;
   DropFilter drop_filter_;
   std::vector<TopologyObserver> observers_;
-  NetworkStats stats_;
+
+  // Hot-path instruments, resolved once at construction.
+  obs::Counter& sent_;
+  obs::Counter& loopback_;
+  obs::Counter& delivered_;
+  obs::Counter& filtered_;
+  obs::Counter& unroutable_;
+  obs::Counter& lost_in_flight_;
+  obs::Counter& bytes_sent_;
+  obs::Counter& bytes_rejected_;
+  obs::Counter& topology_changes_;
 };
 
 }  // namespace dynvote::sim

@@ -81,6 +81,10 @@ StableStorage& Node::storage() { return sim_.storage(id_); }
 
 SimTime Node::now() const { return sim_.now(); }
 
+obs::TraceSink& Node::trace() { return sim_.trace(); }
+
+obs::MetricsRegistry& Node::metrics() { return sim_.metrics(); }
+
 void Node::log(LogLevel level, const std::string& message) const {
   sim_.logger().log(sim_.now(), level, to_string(id_), message);
 }

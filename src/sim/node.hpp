@@ -23,6 +23,11 @@
 #include "util/ids.hpp"
 #include "util/log.hpp"
 
+namespace dynvote::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace dynvote::obs
+
 namespace dynvote::sim {
 
 class Simulator;
@@ -82,6 +87,11 @@ class Node {
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] StableStorage& storage();
   [[nodiscard]] SimTime now() const;
+
+  /// The simulation's structured trace sink / metrics registry, so
+  /// protocol layers can record events without including simulator.hpp.
+  [[nodiscard]] obs::TraceSink& trace();
+  [[nodiscard]] obs::MetricsRegistry& metrics();
 
   void log(LogLevel level, const std::string& message) const;
 

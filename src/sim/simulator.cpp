@@ -7,7 +7,7 @@ namespace dynvote::sim {
 Simulator::Simulator(SimulatorOptions options)
     : rng_(options.seed),
       network_(queue_, Rng(options.seed ^ 0x9E3779B97F4A7C15ULL), logger_,
-               options.latency) {}
+               options.latency, trace_, metrics_) {}
 
 StableStorage& Simulator::storage(ProcessId p) { return storages_[p]; }
 

@@ -9,6 +9,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
@@ -34,6 +36,17 @@ class Simulator {
   [[nodiscard]] Logger& logger() noexcept { return logger_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] Network& network() noexcept { return network_; }
+
+  /// Structured event trace for this execution (obs/trace.hpp). Message
+  /// events are off by default; enable via trace().set_messages_enabled.
+  [[nodiscard]] obs::TraceSink& trace() noexcept { return trace_; }
+  [[nodiscard]] const obs::TraceSink& trace() const noexcept { return trace_; }
+
+  /// Counter/gauge/histogram registry shared by the simulator layers.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
 
   /// Per-process stable storage; created on first use and retained for
   /// the lifetime of the simulation (survives node crashes).
@@ -76,7 +89,9 @@ class Simulator {
   Logger logger_;
   Rng rng_;
   EventQueue queue_;
-  Network network_;
+  obs::TraceSink trace_;
+  obs::MetricsRegistry metrics_;
+  Network network_;  // references trace_/metrics_; keep it declared after
   std::map<ProcessId, std::unique_ptr<Node>> nodes_;
   std::map<ProcessId, StableStorage> storages_;
 };

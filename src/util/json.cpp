@@ -1,0 +1,449 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dynvote {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw JsonError(what); }
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) fail("json: not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
+        fail("json: uint out of int64 range");
+      }
+      return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble: {
+      const auto i = static_cast<std::int64_t>(double_);
+      if (static_cast<double>(i) != double_) fail("json: non-integral double");
+      return i;
+    }
+    default:
+      fail("json: not a number");
+  }
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  switch (kind_) {
+    case Kind::kUint:
+      return uint_;
+    case Kind::kInt:
+      if (int_ < 0) fail("json: negative int as uint");
+      return static_cast<std::uint64_t>(int_);
+    case Kind::kDouble: {
+      if (double_ < 0) fail("json: negative double as uint");
+      const auto u = static_cast<std::uint64_t>(double_);
+      if (static_cast<double>(u) != double_) fail("json: non-integral double");
+      return u;
+    }
+    default:
+      fail("json: not a number");
+  }
+}
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble:
+      return double_;
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    default:
+      fail("json: not a number");
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) fail("json: not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) fail("json: not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) fail("json: not an object");
+  return object_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) fail("json: push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) fail("json: set on non-object");
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) fail("json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) fail("json: non-finite double");
+      // Shortest round-trip representation; deterministic across runs.
+      char buf[32];
+      const auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), double_);
+      if (ec != std::errc{}) fail("json: double format");
+      out.append(buf, end);
+      break;
+    }
+    case Kind::kString:
+      json_escape(out, string_);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        json_escape(out, object_[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("json: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("json: expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("json: bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("json: bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("json: bad literal");
+        return JsonValue(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("json: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("json: bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("json: bad \\u escape");
+            }
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("json: bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_float = is_float || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("json: bad number");
+    if (!is_float) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec != std::errc{} || p != token.data() + token.size()) {
+          fail("json: bad number");
+        }
+        return JsonValue(v);
+      }
+      std::uint64_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec != std::errc{} || p != token.data() + token.size()) {
+        fail("json: bad number");
+      }
+      return JsonValue(v);
+    }
+    double v = 0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc{} || p != token.data() + token.size()) {
+      fail("json: bad number");
+    }
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,112 @@
+// A minimal deterministic JSON tree, writer, and parser.
+//
+// The observability layer (src/obs/) exports traces and bench results as
+// JSON, and the trace-replay checker reads them back. Determinism is a
+// hard requirement — two runs with the same RNG seed must serialize to
+// byte-identical output — so objects preserve insertion order (a sorted
+// map would also be deterministic, but insertion order keeps the schema
+// readable) and doubles are printed with a fixed shortest-round-trip
+// format. The parser is bounds-checked and throws JsonError on malformed
+// input; it exists so replay can work from the exported file alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynvote {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A JSON value. Objects are ordered vectors of (key, value) pairs;
+/// duplicate keys are not rejected but lookup returns the first match.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}
+  JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  JsonValue(std::string_view v) : kind_(Kind::kString), string_(v) {}
+  JsonValue(const char* v) : kind_(Kind::kString), string_(v) {}
+  JsonValue(Array v) : kind_(Kind::kArray), array_(std::move(v)) {}
+  JsonValue(Object v) : kind_(Kind::kObject), object_(std::move(v)) {}
+
+  static JsonValue array() { return JsonValue(Array{}); }
+  static JsonValue object() { return JsonValue(Object{}); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  // Checked accessors — throw JsonError on kind mismatch (numbers convert
+  // between signed/unsigned/double when the value fits).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Appends to an array value.
+  void push_back(JsonValue v);
+  /// Appends a key to an object value (no de-duplication).
+  void set(std::string key, JsonValue v);
+
+  /// First value under `key`, or nullptr if absent / not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// First value under `key`; throws JsonError if absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Compact serialization (no whitespace). Deterministic: preserves
+  /// object insertion order, fixed number formatting.
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with two-space indentation (still deterministic).
+  [[nodiscard]] std::string dump_pretty() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `s` into a quoted JSON string literal appended to `out`.
+void json_escape(std::string& out, std::string_view s);
+
+}  // namespace dynvote

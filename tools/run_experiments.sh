@@ -1,16 +1,55 @@
 #!/usr/bin/env sh
 # Builds everything, runs the full test suite, and regenerates every
 # experiment table into ./results/.
+#
+# Alongside each human-readable results/<bench>.txt, every bench now
+# writes a machine-readable results/BENCH_<name>.json (via the
+# DYNVOTE_JSON_DIR environment variable; bench_scenario_typical also
+# exports results/trace.json, the replayable structured trace of the E1
+# run). bench_micro uses google-benchmark's native JSON reporter.
+#
+# Set DYNVOTE_SKIP_SANITIZERS=1 to skip the ASan/UBSan tier-1 pass
+# (it builds a second tree under build-asan/).
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+
+# Reuse the generator of an existing build tree; default to Ninja for a
+# fresh one.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 ctest --test-dir build --output-on-failure
+
 mkdir -p results
+DYNVOTE_JSON_DIR="$(pwd)/results"
+export DYNVOTE_JSON_DIR
 for bench in build/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name=$(basename "$bench")
+  [ "$name" = "bench_micro" ] && continue
   echo "== $name"
   "$bench" | tee "results/$name.txt"
 done
+if [ -x build/bench/bench_micro ]; then
+  echo "== bench_micro"
+  build/bench/bench_micro \
+    --benchmark_out="results/BENCH_bench_micro.json" \
+    --benchmark_out_format=json | tee "results/bench_micro.txt"
+fi
+
+# Tier-1 suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
+  echo "== tier-1 tests under ASan/UBSan (build-asan/)"
+  if [ -f build-asan/CMakeCache.txt ]; then
+    cmake -B build-asan -DDYNVOTE_SANITIZE="address;undefined"
+  else
+    cmake -B build-asan -G Ninja -DDYNVOTE_SANITIZE="address;undefined"
+  fi
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
 echo "All experiment outputs written to ./results/"
