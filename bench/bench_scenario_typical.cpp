@@ -17,6 +17,7 @@
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "harness/trace_replay.hpp"
+#include "obs/spans.hpp"
 #include "util/table.hpp"
 
 namespace dynvote {
@@ -30,6 +31,10 @@ struct Outcome {
   bool c_recorded_attempt = false;
   std::string trace_json;        // full structured trace of the run
   TraceCheckResult replay;       // offline re-verification of that trace
+  obs::SpanReport spans;         // causal spans folded from the trace
+  /// Disagreements between the trace-derived metrics and the live
+  /// registry (must be empty: the two accounts describe one run).
+  std::vector<std::string> cross_check;
 };
 
 Outcome run(ProtocolKind kind) {
@@ -92,7 +97,11 @@ Outcome run(ProtocolKind kind) {
   // checker must reach the same verdict as the live one.
   outcome.trace_json =
       trace_to_json(cluster.trace_meta(), cluster.sim().trace()).dump();
-  outcome.replay = check_trace(load_trace_json(outcome.trace_json));
+  const TraceMetaAndEvents parsed = load_trace_json(outcome.trace_json);
+  outcome.replay = check_trace(parsed);
+  outcome.spans = obs::build_spans(parsed.events);
+  outcome.cross_check =
+      obs::cross_check_with_registry(outcome.spans, cluster.sim().metrics());
   return outcome;
 }
 
@@ -138,6 +147,16 @@ int main() {
     row.set("trace_events",
             JsonValue(std::uint64_t{
                 load_trace_json(outcome.trace_json).events.size()}));
+    const auto& derived = outcome.spans.derived;
+    row.set("ambiguity_spans",
+            JsonValue(std::uint64_t{outcome.spans.ambiguity.size()}));
+    row.set("max_open_ambiguity", JsonValue(derived.max_open_ambiguity));
+    row.set("time_in_ambiguity_ticks",
+            JsonValue(derived.time_in_ambiguity_ticks));
+    row.set("primary_uptime_ticks", JsonValue(derived.primary_uptime_ticks));
+    row.set("primary_availability",
+            JsonValue(derived.primary_availability()));
+    row.set("cross_check_ok", JsonValue(outcome.cross_check.empty()));
     rows.push_back(std::move(row));
   }
   result.set("rows", std::move(rows));

@@ -112,8 +112,14 @@ void BasicDvProtocol::handle_recover() {
   } else {
     // The constructor persisted the initial state, so an empty store
     // means the disk was destroyed (paper footnote 4): come back with
-    // Last_Primary = (∞,-1) and no trustworthy history.
+    // Last_Primary = (∞,-1) and no trustworthy history. The ambiguous
+    // records died with the disk — close their lifetime spans.
+    for (const AmbiguousSession& amb : state_.ambiguous) {
+      record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
+                                  amb.session, "disk-loss");
+    }
     state_ = ProtocolState::after_disk_loss(id());
+    record_ambiguity_level();
     persist();
   }
 }
@@ -229,8 +235,29 @@ void BasicDvProtocol::run_form_step(const PhaseMessages& messages) {
 void BasicDvProtocol::record_ambiguity_level() {
   const auto level = static_cast<std::int64_t>(state_.ambiguous.size());
   metrics().gauge("dv.ambiguous_recorded").set(level);
-  trace().record({now(), obs::TraceEventKind::kAmbiguityRecord, id(),
-                  ProcessId{}, 0, static_cast<std::uint64_t>(level), {}, {}});
+  obs::TraceEvent event;
+  event.time = now();
+  event.kind = obs::TraceEventKind::kAmbiguityRecord;
+  event.a = id();
+  event.value = static_cast<std::uint64_t>(level);
+  event.lamport = lamport_tick();
+  event.cause = session_cause_eid();
+  trace().record(std::move(event));
+}
+
+void BasicDvProtocol::record_ambiguity_resolution(obs::TraceEventKind kind,
+                                                  const Session& session,
+                                                  std::string rule) {
+  obs::TraceEvent event;
+  event.time = now();
+  event.kind = kind;
+  event.a = id();
+  event.number = session.number;
+  event.members = session.members;
+  event.detail = std::move(rule);
+  event.lamport = lamport_tick();
+  event.cause = session_cause_eid();
+  trace().record(std::move(event));
 }
 
 }  // namespace dynvote

@@ -153,6 +153,13 @@ class BasicDvProtocol : public SessionProtocolBase {
   /// trace-replay checker can verify the Theorem-1 bound offline.
   void record_ambiguity_level();
 
+  /// Records the end of one ambiguous record's lifetime: `kind` is
+  /// kAmbiguityResolved (deleted) or kAmbiguityAdopted, `rule` names the
+  /// §5 rule that fired (see docs/OBSERVABILITY.md). The span builder
+  /// closes the record's lifetime span at this event.
+  void record_ambiguity_resolution(obs::TraceEventKind kind,
+                                   const Session& session, std::string rule);
+
   ProtocolState state_;
   DvConfig config_;
 

@@ -78,6 +78,19 @@ void OptimizedDvProtocol::pre_decision_update(const InfoBySender& infos) {
   if (to_adopt) {
     const Session adopted = to_adopt->session;  // copy before mutating list
     log(LogLevel::kDebug, "resolution: adopting formed " + adopted.to_string());
+    // Close the lifetime span of every record the adoption resolves: the
+    // adopted session itself plus everything it supersedes (adopt_formed
+    // erases all records with number <= adopted.number).
+    for (const AmbiguousSession& amb : state_.ambiguous) {
+      if (amb.session.number > adopted.number) continue;
+      if (amb.session.number == adopted.number) {
+        record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityAdopted,
+                                    amb.session, "fig2-adoption");
+      } else {
+        record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
+                                    amb.session, "fig2-adoption-supersedes");
+      }
+    }
     state_.adopt_formed(adopted);
     ++gc_adoptions_;
   }
@@ -85,8 +98,17 @@ void OptimizedDvProtocol::pre_decision_update(const InfoBySender& infos) {
   // Deletion: sessions formed by nobody are no constraint on anything.
   const std::size_t before = state_.ambiguous.size();
   std::erase_if(state_.ambiguous, [&](const AmbiguousSession& amb) {
-    return amb.known_unformed_by_all() ||
-           formed_by_nobody.contains(amb.session.number);
+    if (amb.known_unformed_by_all()) {
+      record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
+                                  amb.session, "5.2-rule1-unformed-by-all");
+      return true;
+    }
+    if (formed_by_nobody.contains(amb.session.number)) {
+      record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
+                                  amb.session, "5.2-rule2-formed-by-nobody");
+      return true;
+    }
+    return false;
   });
   gc_deletions_ += before - state_.ambiguous.size();
   if (to_adopt != nullptr || before != state_.ambiguous.size()) {

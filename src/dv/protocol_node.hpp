@@ -47,45 +47,93 @@ class ProtocolNode : public sim::Node {
  protected:
   /// Records entry into a freshly formed primary and notifies the
   /// observer (with the session's communication-round count) and the
-  /// application listener.
+  /// application listener. The trace event cites the session's attempt
+  /// (or, for zero-round protocols, the view install) as its cause.
   void enter_primary(const Session& session, int rounds) {
     primary_ = session;
     ++formed_count_;
     log(LogLevel::kInfo, "FORMED primary " + session.to_string());
-    trace().record({now(), obs::TraceEventKind::kSessionFormed, id(),
-                    ProcessId{}, session.number,
-                    static_cast<std::uint64_t>(rounds), session.members,
-                    {}});
+    obs::TraceEvent event;
+    event.time = now();
+    event.kind = obs::TraceEventKind::kSessionFormed;
+    event.a = id();
+    event.number = session.number;
+    event.value = static_cast<std::uint64_t>(rounds);
+    event.members = session.members;
+    event.lamport = lamport_tick();
+    event.cause = session_cause_eid();
+    formed_eid_ = trace().record(std::move(event));
     if (observer_) observer_->on_formed(now(), id(), session, rounds);
     if (listener_) listener_->on_primary_formed(session);
   }
 
   /// Reports loss of primary status (view change / crash) exactly once.
+  /// The trace event cites the formation it ends.
   void leave_primary() {
     if (!primary_) return;
     primary_.reset();
-    trace().record({now(), obs::TraceEventKind::kPrimaryLost, id(),
-                    ProcessId{}, 0, 0, {}, {}});
+    obs::TraceEvent event;
+    event.time = now();
+    event.kind = obs::TraceEventKind::kPrimaryLost;
+    event.a = id();
+    event.lamport = lamport_tick();
+    event.cause = formed_eid_;
+    formed_eid_ = 0;
+    trace().record(std::move(event));
     if (observer_) observer_->on_primary_lost(now(), id());
     if (listener_) listener_->on_primary_lost();
   }
 
+  /// Records the view install, citing the topology change that produced
+  /// it; resets the per-session causal chain (a new view starts a new
+  /// session in every protocol).
   void notify_view_installed(const View& view) {
-    trace().record({now(), obs::TraceEventKind::kViewInstalled, id(),
-                    ProcessId{}, static_cast<std::int64_t>(view.id.value()), 0,
-                    view.members, {}});
+    obs::TraceEvent event;
+    event.time = now();
+    event.kind = obs::TraceEventKind::kViewInstalled;
+    event.a = id();
+    event.number = static_cast<std::int64_t>(view.id.value());
+    event.members = view.members;
+    event.lamport = lamport_tick();
+    event.cause = last_topology_eid();
+    view_eid_ = trace().record(std::move(event));
+    attempt_eid_ = 0;
     if (observer_) observer_->on_view_installed(now(), id(), view);
   }
   void notify_attempt(const Session& session) {
-    trace().record({now(), obs::TraceEventKind::kSessionAttempt, id(),
-                    ProcessId{}, session.number, 0, session.members, {}});
+    obs::TraceEvent event;
+    event.time = now();
+    event.kind = obs::TraceEventKind::kSessionAttempt;
+    event.a = id();
+    event.number = session.number;
+    event.members = session.members;
+    event.lamport = lamport_tick();
+    event.cause = view_eid_;
+    attempt_eid_ = trace().record(std::move(event));
     if (observer_) observer_->on_attempt(now(), id(), session);
   }
   void notify_rejected(const View& view, const std::string& reason) {
-    trace().record({now(), obs::TraceEventKind::kSessionAbort, id(),
-                    ProcessId{}, static_cast<std::int64_t>(view.id.value()), 0,
-                    view.members, reason});
+    obs::TraceEvent event;
+    event.time = now();
+    event.kind = obs::TraceEventKind::kSessionAbort;
+    event.a = id();
+    event.number = static_cast<std::int64_t>(view.id.value());
+    event.members = view.members;
+    event.detail = reason;
+    event.lamport = lamport_tick();
+    event.cause = session_cause_eid();
+    trace().record(std::move(event));
     if (observer_) observer_->on_session_rejected(now(), id(), view, reason);
+  }
+
+  /// Causal parent for events of the current session: the attempt if one
+  /// was recorded in this view, else the view install itself.
+  [[nodiscard]] std::uint64_t session_cause_eid() const noexcept {
+    return attempt_eid_ != 0 ? attempt_eid_ : view_eid_;
+  }
+  /// Event id of the current view's install record (0 before the first).
+  [[nodiscard]] std::uint64_t current_view_eid() const noexcept {
+    return view_eid_;
   }
 
   [[nodiscard]] ProtocolObserver* observer() const noexcept { return observer_; }
@@ -95,6 +143,9 @@ class ProtocolNode : public sim::Node {
   PrimaryListener* listener_ = nullptr;
   std::optional<Session> primary_;
   std::uint64_t formed_count_ = 0;
+  std::uint64_t view_eid_ = 0;     // eid of the latest kViewInstalled
+  std::uint64_t attempt_eid_ = 0;  // eid of this session's kSessionAttempt
+  std::uint64_t formed_eid_ = 0;   // eid of the live kSessionFormed
 };
 
 }  // namespace dynvote

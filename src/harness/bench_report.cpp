@@ -8,7 +8,16 @@ namespace dynvote {
 
 std::string emit_bench_result(const std::string& name,
                               const JsonValue& result) {
-  const std::string text = result.dump_pretty();
+  JsonValue stamped = JsonValue::object();
+  stamped.set("schema_version", JsonValue(kBenchResultSchemaVersion));
+  if (result.is_object()) {
+    for (const auto& [key, value] : result.as_object()) {
+      stamped.set(key, value);
+    }
+  } else {
+    stamped.set("result", result);
+  }
+  const std::string text = stamped.dump_pretty();
   std::printf("%s%s ---\n%s%s\n", kBenchResultBegin, name.c_str(),
               text.c_str(), kBenchResultEnd);
   std::fflush(stdout);

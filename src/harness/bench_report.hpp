@@ -26,9 +26,16 @@ inline constexpr const char* kBenchResultBegin = "--- BENCH_RESULT_JSON ";
 /// Marker line that closes a result block on stdout.
 inline constexpr const char* kBenchResultEnd = "--- END_BENCH_RESULT_JSON ---";
 
+/// Version stamped into every BENCH_RESULT_JSON block (the
+/// "schema_version" key emit_bench_result prepends). Bump on any
+/// incompatible change to a bench's payload shape so trajectory tooling
+/// can refuse mixed files instead of misreading them.
+inline constexpr int kBenchResultSchemaVersion = 1;
+
 /// Emits the block for `name` (e.g. "bench_availability") with `result`
-/// as payload. Returns the path written, or an empty string when
-/// DYNVOTE_JSON_DIR is unset or the file could not be written.
+/// as payload, prepending "schema_version". Returns the path written, or
+/// an empty string when DYNVOTE_JSON_DIR is unset or the file could not
+/// be written.
 std::string emit_bench_result(const std::string& name,
                               const JsonValue& result);
 

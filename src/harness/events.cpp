@@ -79,7 +79,8 @@ MetricsObserver::MetricsObserver(obs::MetricsRegistry& registry)
       formed_(registry.counter("dv.formed")),
       primary_lost_(registry.counter("dv.primary_lost")),
       rejected_(registry.counter("dv.rejected")),
-      rounds_(registry.histogram("dv.rounds_per_form")) {}
+      rounds_(registry.histogram("dv.rounds_per_form")),
+      uptime_(registry.counter("dv.primary_uptime_ticks")) {}
 
 void MetricsObserver::on_view_installed(SimTime /*time*/, ProcessId /*p*/,
                                         const View& /*view*/) {
@@ -91,14 +92,19 @@ void MetricsObserver::on_attempt(SimTime /*time*/, ProcessId /*p*/,
   attempts_.increment();
 }
 
-void MetricsObserver::on_formed(SimTime /*time*/, ProcessId /*p*/,
+void MetricsObserver::on_formed(SimTime time, ProcessId p,
                                 const Session& /*session*/, int rounds) {
   formed_.increment();
   rounds_.observe(static_cast<std::uint64_t>(rounds < 0 ? 0 : rounds));
+  if (primary_procs_.empty()) uptime_open_ = time;
+  primary_procs_.insert(p);
 }
 
-void MetricsObserver::on_primary_lost(SimTime /*time*/, ProcessId /*p*/) {
+void MetricsObserver::on_primary_lost(SimTime time, ProcessId p) {
   primary_lost_.increment();
+  if (primary_procs_.erase(p) != 0 && primary_procs_.empty()) {
+    uptime_.add(time - uptime_open_);
+  }
 }
 
 void MetricsObserver::on_session_rejected(SimTime /*time*/, ProcessId /*p*/,

@@ -1,6 +1,7 @@
 // Observer plumbing: fan-out, human-readable traces, metrics bridge.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,13 @@ class TraceRecorder final : public ProtocolObserver {
 /// a rounds-per-formation histogram. The cluster installs one against
 /// the simulation's registry, so protocol-level counts ship in the same
 /// JSON export as the network counters.
+///
+/// Also accumulates "dv.primary_uptime_ticks": virtual time during which
+/// at least one process was primary. An interval opens when the primary
+/// count goes 0 -> 1 and closes (and is added) when it returns to 0; an
+/// interval still open when the run ends is not counted. The span layer
+/// (obs/spans.hpp) derives the same quantity from the trace alone with
+/// the same convention, so the two can be cross-checked exactly.
 class MetricsObserver final : public ProtocolObserver {
  public:
   explicit MetricsObserver(obs::MetricsRegistry& registry);
@@ -85,6 +93,9 @@ class MetricsObserver final : public ProtocolObserver {
   obs::Counter& primary_lost_;
   obs::Counter& rejected_;
   obs::Histogram& rounds_;
+  obs::Counter& uptime_;
+  std::set<ProcessId> primary_procs_;
+  SimTime uptime_open_ = 0;
 };
 
 }  // namespace dynvote

@@ -1,12 +1,11 @@
 #include "harness/trace_replay.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace dynvote {
 
 namespace {
-
-constexpr int kTraceSchemaVersion = 1;
 
 obs::TraceEventKind kind_from_string(std::string_view s) {
   using K = obs::TraceEventKind;
@@ -14,7 +13,8 @@ obs::TraceEventKind kind_from_string(std::string_view s) {
        {K::kMessageSend, K::kMessageDrop, K::kMessageDeliver,
         K::kTopologyChange, K::kProcessCrash, K::kProcessRecover,
         K::kViewInstalled, K::kSessionAttempt, K::kSessionFormed,
-        K::kSessionAbort, K::kPrimaryLost, K::kAmbiguityRecord}) {
+        K::kSessionAbort, K::kPrimaryLost, K::kAmbiguityRecord,
+        K::kAmbiguityResolved, K::kAmbiguityAdopted}) {
     if (to_string(k) == s) return k;
   }
   throw JsonError("trace: unknown event kind '" + std::string(s) + "'");
@@ -38,9 +38,21 @@ ProcessSet process_set_from_json(const JsonValue& value) {
 
 }  // namespace
 
-TraceCheckResult check_trace(const TraceMetaAndEvents& trace) {
+TraceCheckResult check_trace(const TraceMetaAndEvents& trace,
+                             TruncationPolicy truncation) {
   TraceCheckResult result;
   result.ambiguity_bound = trace.meta.ambiguity_bound;
+  if (trace.meta.overwritten > 0) {
+    result.truncated = true;
+    if (truncation == TruncationPolicy::kFail) {
+      result.violations.push_back(Violation{
+          "truncated-trace",
+          std::to_string(trace.meta.overwritten) +
+              " events evicted by the ring bound before export; the "
+              "stream is a suffix, so replay verdicts are not evidence "
+              "(pass TruncationPolicy::kWarn to accept the suffix)"});
+    }
+  }
 
   ConsistencyChecker checker(trace.meta.core, /*seed_initial=*/true);
   for (const obs::TraceEvent& event : trace.events) {
@@ -73,7 +85,10 @@ TraceCheckResult check_trace(const TraceMetaAndEvents& trace) {
         break;  // message/topology events carry no correctness obligations
     }
   }
-  result.violations = checker.check_all();
+  auto checked = checker.check_all();
+  result.violations.insert(result.violations.end(),
+                           std::make_move_iterator(checked.begin()),
+                           std::make_move_iterator(checked.end()));
   result.formed_sessions = checker.formed_session_count();
   if (result.ambiguity_bound != 0) {
     result.ambiguity_ok = result.max_ambiguous <= result.ambiguity_bound;
@@ -84,7 +99,7 @@ TraceCheckResult check_trace(const TraceMetaAndEvents& trace) {
 JsonValue trace_to_json(const obs::TraceMeta& meta,
                         const obs::TraceSink& sink) {
   JsonValue meta_json = JsonValue::object();
-  meta_json.set("version", JsonValue(kTraceSchemaVersion));
+  meta_json.set("schema_version", JsonValue(kTraceSchemaVersion));
   meta_json.set("protocol", JsonValue(meta.protocol));
   meta_json.set("n", JsonValue(static_cast<std::uint64_t>(meta.n)));
   meta_json.set("min_quorum",
@@ -110,6 +125,11 @@ JsonValue trace_to_json(const obs::TraceMeta& meta,
     if (event.value != 0) e.set("v", JsonValue(event.value));
     if (!event.members.empty()) e.set("m", process_set_to_json(event.members));
     if (!event.detail.empty()) e.set("d", JsonValue(event.detail));
+    // Causal fields. "e" is always present (every recorded event has an
+    // id); the clock and cause keep the zero-omitted convention.
+    e.set("e", JsonValue(event.eid));
+    if (event.lamport != 0) e.set("l", JsonValue(event.lamport));
+    if (event.cause != 0) e.set("c", JsonValue(event.cause));
     events.push_back(std::move(e));
   }
 
@@ -124,8 +144,10 @@ TraceMetaAndEvents load_trace_json(std::string_view text) {
   TraceMetaAndEvents out;
 
   const JsonValue& meta = doc.at("meta");
-  if (meta.at("version").as_int() != kTraceSchemaVersion) {
-    throw JsonError("trace: unsupported schema version");
+  if (meta.find("schema_version") == nullptr ||
+      meta.at("schema_version").as_int() != kTraceSchemaVersion) {
+    throw JsonError("trace: unsupported schema version (need " +
+                    std::to_string(kTraceSchemaVersion) + ")");
   }
   out.meta.protocol = meta.at("protocol").as_string();
   out.meta.n = static_cast<std::uint32_t>(meta.at("n").as_uint());
@@ -134,6 +156,9 @@ TraceMetaAndEvents load_trace_json(std::string_view text) {
   out.meta.core = process_set_from_json(meta.at("core"));
   out.meta.ambiguity_bound =
       static_cast<std::size_t>(meta.at("ambiguity_bound").as_uint());
+  if (const JsonValue* ow = meta.find("overwritten")) {
+    out.meta.overwritten = ow->as_uint();
+  }
 
   for (const JsonValue& e : doc.at("events").as_array()) {
     obs::TraceEvent event;
@@ -149,6 +174,9 @@ TraceMetaAndEvents load_trace_json(std::string_view text) {
       event.members = process_set_from_json(*m);
     }
     if (const JsonValue* d = e.find("d")) event.detail = d->as_string();
+    event.eid = e.at("e").as_uint();
+    if (const JsonValue* l = e.find("l")) event.lamport = l->as_uint();
+    if (const JsonValue* c = e.find("c")) event.cause = c->as_uint();
     out.events.push_back(std::move(event));
   }
   return out;

@@ -22,6 +22,25 @@
 
 namespace dynvote {
 
+/// Version of the trace.json schema written by trace_to_json and
+/// required by load_trace_json. Version 2 added the causal fields
+/// (eid "e", Lamport clock "l", cause "c"), the ambiguity-resolution
+/// event kinds, meta.overwritten, and renamed the meta key from
+/// "version" to "schema_version".
+inline constexpr int kTraceSchemaVersion = 2;
+
+/// What check_trace does about a truncated event stream
+/// (meta.overwritten > 0): a ring-bounded sink only kept a suffix of the
+/// execution, so "no violation found" is not evidence of correctness.
+enum class TruncationPolicy {
+  /// Report a "truncated-trace" violation (the default: replay verdicts
+  /// on partial evidence must not pass silently).
+  kFail,
+  /// Downgrade to a warning: result.truncated is set, but the verdict
+  /// reflects only the surviving events.
+  kWarn,
+};
+
 /// Verdict of a trace replay.
 struct TraceCheckResult {
   /// V1..V4 violations found by the replayed ConsistencyChecker.
@@ -35,6 +54,9 @@ struct TraceCheckResult {
   std::size_t ambiguity_bound = 0;
   /// True iff no bound applies or max_ambiguous stayed within it.
   bool ambiguity_ok = true;
+  /// True iff the sink evicted events before export (meta.overwritten > 0).
+  /// Under TruncationPolicy::kFail this also appears in `violations`.
+  bool truncated = false;
 
   [[nodiscard]] bool consistent() const noexcept {
     return violations.empty() && ambiguity_ok;
@@ -50,8 +72,12 @@ struct TraceMetaAndEvents {
 
 /// Feeds the protocol-level events of `trace` through a fresh
 /// ConsistencyChecker (seeded from meta.core) and evaluates the ambiguity
-/// bound in meta.ambiguity_bound.
-[[nodiscard]] TraceCheckResult check_trace(const TraceMetaAndEvents& trace);
+/// bound in meta.ambiguity_bound. A truncated trace (meta.overwritten
+/// > 0) fails by default; pass TruncationPolicy::kWarn to accept the
+/// surviving suffix with result.truncated set.
+[[nodiscard]] TraceCheckResult check_trace(
+    const TraceMetaAndEvents& trace,
+    TruncationPolicy truncation = TruncationPolicy::kFail);
 
 /// Serializes meta + the sink's events to the deterministic trace.json
 /// schema (see docs/PROTOCOL.md "Tracing & metrics").

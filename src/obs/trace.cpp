@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace dynvote::obs {
 
 std::string_view to_string(TraceEventKind kind) {
@@ -28,6 +30,10 @@ std::string_view to_string(TraceEventKind kind) {
       return "primary_lost";
     case TraceEventKind::kAmbiguityRecord:
       return "ambiguity";
+    case TraceEventKind::kAmbiguityResolved:
+      return "ambiguity_resolved";
+    case TraceEventKind::kAmbiguityAdopted:
+      return "ambiguity_adopted";
   }
   return "unknown";
 }
@@ -44,12 +50,12 @@ std::string_view to_string(DropCause cause) {
   return "unknown";
 }
 
-void TraceSink::record(TraceEvent event) {
+std::uint64_t TraceSink::record(TraceEvent event) {
   switch (event.kind) {
     case TraceEventKind::kMessageSend:
     case TraceEventKind::kMessageDrop:
     case TraceEventKind::kMessageDeliver:
-      if (!messages_) return;
+      if (!messages_) return 0;
       break;
     default:
       break;
@@ -58,7 +64,10 @@ void TraceSink::record(TraceEvent event) {
     events_.pop_front();
     ++overwritten_;
   }
+  event.eid = ++next_eid_;
   events_.push_back(std::move(event));
+  update_gauges();
+  return next_eid_;
 }
 
 void TraceSink::set_capacity(std::size_t capacity) {
@@ -69,11 +78,26 @@ void TraceSink::set_capacity(std::size_t capacity) {
       ++overwritten_;
     }
   }
+  update_gauges();
+}
+
+void TraceSink::bind_metrics(MetricsRegistry& registry) {
+  events_gauge_ = &registry.gauge("trace.events");
+  overwritten_gauge_ = &registry.gauge("trace.overwritten");
+  update_gauges();
+}
+
+void TraceSink::update_gauges() {
+  if (events_gauge_ == nullptr) return;
+  events_gauge_->set(static_cast<std::int64_t>(events_.size()));
+  overwritten_gauge_->set(static_cast<std::int64_t>(overwritten_));
 }
 
 void TraceSink::clear() {
   events_.clear();
   overwritten_ = 0;
+  next_eid_ = 0;
+  update_gauges();
 }
 
 }  // namespace dynvote::obs

@@ -1,22 +1,37 @@
-// Structured, deterministic event tracing.
+// Structured, deterministic event tracing with causal links.
 //
 // The TraceSink is the machine-readable counterpart of the narrative
 // TraceRecorder in harness/events.hpp: instead of prose it records flat
 // TraceEvent structs — message send/drop/deliver with cause, session
 // attempt/form/abort with the eligibility verdict, topology changes,
-// crashes and recoveries, and ambiguous-record high-water marks. The
-// harness replays these events through the consistency checker
+// crashes and recoveries, ambiguous-record high-water marks, and the
+// optimized protocol's ambiguity resolutions/adoptions. The harness
+// replays these events through the consistency checker
 // (harness/trace_replay.hpp) to re-verify C1 and the Theorem-1 ambiguity
-// bound from an exported trace alone.
+// bound from an exported trace alone, and obs/spans.hpp folds the stream
+// into causal spans (session lifecycles, ambiguity lifetimes, primary
+// tenures).
+//
+// Causality: the sink assigns every recorded event a monotonically
+// increasing event id (eid, starting at 1), producers stamp each event
+// with the recording process's Lamport clock (carried across messages by
+// sim::Network), and `cause` links an effect to the eid of the event
+// that produced it — a delivery to its send, a session form/abort to its
+// attempt, a view install to the topology change that triggered it.
+// Walking `cause` links back to an event with cause 0 yields the root
+// cause of any effect (see dvtrace explain-abort).
 //
 // Determinism guarantee: events are recorded synchronously from the
 // single-threaded simulator, ordered by the event queue; two runs with
-// the same RNG seed record identical sequences, and the JSON export is
-// byte-identical (see util/json.hpp).
+// the same RNG seed record identical sequences (ids, clocks and causal
+// links included), and the JSON export is byte-identical (see
+// util/json.hpp).
 //
 // Memory: the sink is ring-buffered. Protocol/topology events are always
 // recorded; per-message events are opt-in (set_messages_enabled) because
-// long availability sweeps exchange millions of messages.
+// long availability sweeps exchange millions of messages. Eviction never
+// reuses ids, so causal links stay unambiguous (they may dangle — a
+// chain walk reports the truncation instead of resolving wrongly).
 #pragma once
 
 #include <cstddef>
@@ -30,19 +45,26 @@
 
 namespace dynvote::obs {
 
+class Gauge;
+class MetricsRegistry;
+
 enum class TraceEventKind : std::uint8_t {
-  kMessageSend,      // a = from, b = to, detail = payload type
-  kMessageDrop,      // a = from, b = to, value = DropCause, detail = type
-  kMessageDeliver,   // a = from, b = to, detail = payload type
-  kTopologyChange,   // members = one component (one event per component)
-  kProcessCrash,     // a = process
-  kProcessRecover,   // a = process
-  kViewInstalled,    // a = process, number = view id, members = view
-  kSessionAttempt,   // a = process, number = session, members = attempt set
-  kSessionFormed,    // a = process, number = session, members, value = rounds
-  kSessionAbort,     // a = process, number = view id, members, detail = reason
-  kPrimaryLost,      // a = process
-  kAmbiguityRecord,  // a = process, value = #ambiguous sessions now recorded
+  kMessageSend,        // a = from, b = to, detail = payload type
+  kMessageDrop,        // a = from, b = to, value = DropCause, detail = type
+  kMessageDeliver,     // a = from, b = to, detail = payload type
+  kTopologyChange,     // members = one component (one event per component)
+  kProcessCrash,       // a = process
+  kProcessRecover,     // a = process
+  kViewInstalled,      // a = process, number = view id, members = view
+  kSessionAttempt,     // a = process, number = session, members = attempt set
+  kSessionFormed,      // a = process, number = session, members, value = rounds
+  kSessionAbort,       // a = process, number = view id, members, detail = reason
+  kPrimaryLost,        // a = process
+  kAmbiguityRecord,    // a = process, value = #ambiguous sessions now recorded
+  kAmbiguityResolved,  // a = process, number = session, members,
+                       //   detail = the §5 rule that deleted the record
+  kAmbiguityAdopted,   // a = process, number = session, members,
+                       //   detail = the §5 rule that adopted the record
 };
 
 /// Why a message never reached its destination.
@@ -67,6 +89,13 @@ struct TraceEvent {
   std::uint64_t value = 0;
   ProcessSet members;
   std::string detail;
+  /// Event id, assigned by TraceSink::record (1-based; 0 = unrecorded).
+  std::uint64_t eid = 0;
+  /// Lamport clock of the acting process at the event (0 for global
+  /// events such as topology changes, which no single process performs).
+  std::uint64_t lamport = 0;
+  /// eid of the event that caused this one (0 = root cause / unlinked).
+  std::uint64_t cause = 0;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -84,6 +113,11 @@ struct TraceMeta {
   /// (n − Min_Quorum + 1); 0 disables the check (protocols that do not
   /// garbage-collect, or runs with dynamic membership).
   std::size_t ambiguity_bound = 0;
+  /// Events evicted by the sink's ring bound before export. Nonzero means
+  /// the event stream is a suffix of the execution; consumers must either
+  /// reject the file or explicitly downgrade their verdicts (see
+  /// check_trace's TruncationPolicy).
+  std::uint64_t overwritten = 0;
 };
 
 /// Ring buffer of TraceEvents.
@@ -92,7 +126,10 @@ class TraceSink {
   /// `capacity` 0 means unbounded.
   explicit TraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
 
-  void record(TraceEvent event);
+  /// Records `event`, assigning it the next event id. Returns the id, or
+  /// 0 when the event was skipped (per-message events while disabled) —
+  /// skipped events consume no id, so ids stay dense over recorded ones.
+  std::uint64_t record(TraceEvent event);
 
   /// Per-message events (send/drop/deliver) are skipped unless enabled.
   void set_messages_enabled(bool enabled) noexcept { messages_ = enabled; }
@@ -100,6 +137,12 @@ class TraceSink {
 
   void set_capacity(std::size_t capacity);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Mirrors size/overwritten into the registry's "trace.events" /
+  /// "trace.overwritten" gauges, so ring-buffer pressure is visible in
+  /// bench JSON without touching the sink. Call once at wiring time; the
+  /// registry must outlive the sink.
+  void bind_metrics(MetricsRegistry& registry);
 
   void clear();
 
@@ -111,12 +154,19 @@ class TraceSink {
   [[nodiscard]] std::uint64_t overwritten() const noexcept {
     return overwritten_;
   }
+  /// Id of the most recently recorded event (0 = none yet).
+  [[nodiscard]] std::uint64_t last_eid() const noexcept { return next_eid_; }
 
  private:
+  void update_gauges();
+
   std::size_t capacity_;
   bool messages_ = false;
   std::deque<TraceEvent> events_;
   std::uint64_t overwritten_ = 0;
+  std::uint64_t next_eid_ = 0;
+  Gauge* events_gauge_ = nullptr;
+  Gauge* overwritten_gauge_ = nullptr;
 };
 
 }  // namespace dynvote::obs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -43,11 +44,19 @@ using PayloadPtr = std::shared_ptr<const MessagePayload>;
 /// it sent the message; receivers process a message only within the same
 /// view, which realizes the causal membership/message ordering the paper
 /// requires in section 3.1.
+///
+/// `lamport` and `send_eid` are stamped by the network at send time:
+/// the sender's Lamport clock (so the receiver can advance its own past
+/// every event the sender had seen) and the trace-event id of the send
+/// (so the delivery — or in-flight loss — can cite its cause). Senders
+/// leave both zero.
 struct Envelope {
   ProcessId from;
   ProcessId to;
   ViewId view;
   PayloadPtr payload;
+  std::uint64_t lamport = 0;
+  std::uint64_t send_eid = 0;
 };
 
 }  // namespace dynvote::sim

@@ -78,7 +78,7 @@ void Network::set_components(const std::vector<ProcessSet>& groups) {
     for (const auto& c : live_components()) s += " " + c.to_string();
     return s;
   }());
-  record_topology();
+  record_topology(/*cause=*/0);
   notify_topology_changed();
 }
 
@@ -100,16 +100,15 @@ void Network::set_alive(ProcessId p, bool alive) {
   bump_epochs_for_disconnections(before);
   logger_.log(queue_.now(), LogLevel::kDebug, "net",
               to_string(p) + (alive ? " recovered" : " crashed"));
-  trace_.record({queue_.now(),
-                 alive ? obs::TraceEventKind::kProcessRecover
-                       : obs::TraceEventKind::kProcessCrash,
-                 p,
-                 ProcessId{},
-                 0,
-                 0,
-                 {},
-                 {}});
-  record_topology();
+  obs::TraceEvent event;
+  event.time = queue_.now();
+  event.kind = alive ? obs::TraceEventKind::kProcessRecover
+                     : obs::TraceEventKind::kProcessCrash;
+  event.a = p;
+  event.lamport = lamport_tick(p);
+  const std::uint64_t cause = trace_.record(std::move(event));
+  // The ensuing topology change is an effect of the crash/recovery.
+  record_topology(cause);
   notify_topology_changed();
 }
 
@@ -173,16 +172,38 @@ void Network::bump_epochs_for_disconnections(
   }
 }
 
-void Network::record_topology() {
+void Network::record_topology(std::uint64_t cause) {
   topology_changes_.increment();
   for (const ProcessSet& component : live_components()) {
-    trace_.record({queue_.now(), obs::TraceEventKind::kTopologyChange,
-                   ProcessId{}, ProcessId{}, 0, 0, component, {}});
+    obs::TraceEvent event;
+    event.time = queue_.now();
+    event.kind = obs::TraceEventKind::kTopologyChange;
+    event.members = component;
+    event.cause = cause;
+    const std::uint64_t eid = trace_.record(std::move(event));
+    // Remember, per process, the topology event that last reshaped its
+    // component: the membership oracle's next view install cites it.
+    for (ProcessId p : component) entries_.at(p).topo_eid = eid;
   }
 }
 
 void Network::notify_topology_changed() {
   for (const auto& observer : observers_) observer();
+}
+
+std::uint64_t Network::lamport_tick(ProcessId p) {
+  ensure(entries_.contains(p), "unknown process");
+  return ++entries_.at(p).lamport;
+}
+
+std::uint64_t Network::lamport(ProcessId p) const {
+  const auto it = entries_.find(p);
+  return it == entries_.end() ? 0 : it->second.lamport;
+}
+
+std::uint64_t Network::last_topology_eid(ProcessId p) const {
+  const auto it = entries_.find(p);
+  return it == entries_.end() ? 0 : it->second.topo_eid;
 }
 
 std::uint64_t Network::link_epoch(ProcessId a, ProcessId b) const {
@@ -206,10 +227,18 @@ void Network::count_drop(const Envelope& env, obs::DropCause cause) {
       lost_in_flight_.increment();
       break;
   }
-  trace_.record({queue_.now(), obs::TraceEventKind::kMessageDrop, env.from,
-                 env.to, 0, static_cast<std::uint64_t>(cause),
-                 {},
-                 env.payload->type_name()});
+  obs::TraceEvent event;
+  event.time = queue_.now();
+  event.kind = obs::TraceEventKind::kMessageDrop;
+  event.a = env.from;
+  event.b = env.to;
+  event.value = static_cast<std::uint64_t>(cause);
+  event.detail = env.payload->type_name();
+  // In-flight losses cite the send that launched the message; at-send
+  // drops are themselves the root record of the doomed send.
+  event.lamport = env.lamport;
+  event.cause = env.send_eid;
+  trace_.record(std::move(event));
 }
 
 void Network::send(Envelope env) {
@@ -219,6 +248,8 @@ void Network::send(Envelope env) {
   sent_.increment();
   if (env.from == env.to) loopback_.increment();
   const std::size_t size = env.payload->encoded_size();
+  // A send attempt is a local event of the sender, whatever its fate.
+  env.lamport = lamport_tick(env.from);
 
   if (drop_filter_ && drop_filter_(env)) {
     bytes_rejected_.add(size);
@@ -236,8 +267,14 @@ void Network::send(Envelope env) {
   // Only traffic actually admitted to a channel counts as sent bytes; the
   // communication benches must not bill filtered or unroutable messages.
   bytes_sent_.add(size);
-  trace_.record({queue_.now(), obs::TraceEventKind::kMessageSend, env.from,
-                 env.to, 0, 0, {}, env.payload->type_name()});
+  obs::TraceEvent send_event;
+  send_event.time = queue_.now();
+  send_event.kind = obs::TraceEventKind::kMessageSend;
+  send_event.a = env.from;
+  send_event.b = env.to;
+  send_event.detail = env.payload->type_name();
+  send_event.lamport = env.lamport;
+  env.send_eid = trace_.record(std::move(send_event));
 
   const std::uint64_t epoch = link_epoch(env.from, env.to);
   SimTime when;
@@ -266,12 +303,22 @@ void Network::deliver(Envelope env, std::uint64_t epoch_at_send) {
     count_drop(env, obs::DropCause::kLinkEpoch);
     return;
   }
-  const auto& handler = entries_.at(env.to).handler;
-  ensure(static_cast<bool>(handler), "no delivery handler installed");
+  ProcessEntry& receiver = entries_.at(env.to);
+  ensure(static_cast<bool>(receiver.handler), "no delivery handler installed");
   delivered_.increment();
-  trace_.record({queue_.now(), obs::TraceEventKind::kMessageDeliver, env.from,
-                 env.to, 0, 0, {}, env.payload->type_name()});
-  handler(std::move(env));
+  // Lamport receive rule: the receiver's clock jumps past everything the
+  // sender had seen at send time.
+  receiver.lamport = std::max(receiver.lamport, env.lamport) + 1;
+  obs::TraceEvent event;
+  event.time = queue_.now();
+  event.kind = obs::TraceEventKind::kMessageDeliver;
+  event.a = env.from;
+  event.b = env.to;
+  event.detail = env.payload->type_name();
+  event.lamport = receiver.lamport;
+  event.cause = env.send_eid;
+  trace_.record(std::move(event));
+  receiver.handler(std::move(env));
 }
 
 NetworkStats Network::stats() const {

@@ -121,6 +121,22 @@ class Network {
   /// Snapshot of the network counters in the metrics registry.
   [[nodiscard]] NetworkStats stats() const;
 
+  // -- causality -------------------------------------------------------------
+
+  /// Advances `p`'s Lamport clock by one local event and returns the new
+  /// value. Protocol layers call this (via sim::Node) when they record a
+  /// trace event for a local step.
+  std::uint64_t lamport_tick(ProcessId p);
+
+  /// Current Lamport clock of `p` (without advancing it).
+  [[nodiscard]] std::uint64_t lamport(ProcessId p) const;
+
+  /// Trace-event id of the most recent topology-change event whose
+  /// component contained `p` (0 = none). View installations cite this as
+  /// their cause: the view is the membership layer's reaction to that
+  /// connectivity change.
+  [[nodiscard]] std::uint64_t last_topology_eid(ProcessId p) const;
+
   /// The pending FIFO tail for the directional channel from -> to: the
   /// latest delivery time already handed out, which the next send may not
   /// precede. Empty when the channel has no outstanding FIFO constraint
@@ -133,6 +149,8 @@ class Network {
     bool alive = true;
     std::uint32_t component = 0;
     std::function<void(Envelope)> handler;
+    std::uint64_t lamport = 0;   // Lamport clock of this process
+    std::uint64_t topo_eid = 0;  // last topology event covering this process
   };
 
   /// Connectivity-only snapshot used to detect disconnections across a
@@ -149,7 +167,9 @@ class Network {
       const;
   void bump_epochs_for_disconnections(
       const std::map<ProcessId, ConnectivityEntry>& before);
-  void record_topology();
+  /// Records one kTopologyChange event per live component, citing
+  /// `cause` (e.g. the crash/recover event that triggered the change).
+  void record_topology(std::uint64_t cause);
   void notify_topology_changed();
   std::uint64_t link_epoch(ProcessId a, ProcessId b) const;
   void count_drop(const Envelope& env, obs::DropCause cause);

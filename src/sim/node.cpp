@@ -85,6 +85,12 @@ obs::TraceSink& Node::trace() { return sim_.trace(); }
 
 obs::MetricsRegistry& Node::metrics() { return sim_.metrics(); }
 
+std::uint64_t Node::lamport_tick() { return sim_.network().lamport_tick(id_); }
+
+std::uint64_t Node::last_topology_eid() const {
+  return sim_.network().last_topology_eid(id_);
+}
+
 void Node::log(LogLevel level, const std::string& message) const {
   sim_.logger().log(sim_.now(), level, to_string(id_), message);
 }

@@ -93,6 +93,14 @@ class Node {
   [[nodiscard]] obs::TraceSink& trace();
   [[nodiscard]] obs::MetricsRegistry& metrics();
 
+  /// Advances and returns this process's Lamport clock — one call per
+  /// trace event a protocol layer records for a local step.
+  std::uint64_t lamport_tick();
+
+  /// Trace-event id of the topology change that last reshaped this
+  /// process's component (0 = none); the causal parent of view installs.
+  [[nodiscard]] std::uint64_t last_topology_eid() const;
+
   void log(LogLevel level, const std::string& message) const;
 
  private:

@@ -7,7 +7,9 @@ namespace dynvote::sim {
 Simulator::Simulator(SimulatorOptions options)
     : rng_(options.seed),
       network_(queue_, Rng(options.seed ^ 0x9E3779B97F4A7C15ULL), logger_,
-               options.latency, trace_, metrics_) {}
+               options.latency, trace_, metrics_) {
+  trace_.bind_metrics(metrics_);
+}
 
 StableStorage& Simulator::storage(ProcessId p) { return storages_[p]; }
 

@@ -244,11 +244,27 @@ TEST(TraceReplayTest, RingBoundedTraceStillReplaysRecentEvents) {
   const obs::TraceSink& sink = cluster.sim().trace();
   EXPECT_LE(sink.size(), 64u);
   EXPECT_GT(sink.overwritten(), 0u);
-  // A truncated trace is still valid input for replay (C1 holds on the
-  // suffix; the bound check is unaffected).
-  const TraceCheckResult verdict =
-      check_trace(load_trace_json(trace_to_json(cluster.trace_meta(), sink).dump()));
-  EXPECT_TRUE(verdict.ambiguity_ok);
+  const TraceMetaAndEvents loaded =
+      load_trace_json(trace_to_json(cluster.trace_meta(), sink).dump());
+  EXPECT_EQ(loaded.meta.overwritten, sink.overwritten());
+
+  // A truncated trace is only a suffix of the execution, so the default
+  // policy refuses to certify it.
+  const TraceCheckResult strict = check_trace(loaded);
+  EXPECT_TRUE(strict.truncated);
+  EXPECT_FALSE(strict.consistent());
+  ASSERT_FALSE(strict.violations.empty());
+  EXPECT_EQ(strict.violations.front().kind, "truncated-trace");
+
+  // Explicitly downgrading to a warning still replays the surviving
+  // events (C1 holds on the suffix; the bound check is unaffected).
+  const TraceCheckResult lenient =
+      check_trace(loaded, TruncationPolicy::kWarn);
+  EXPECT_TRUE(lenient.truncated);
+  EXPECT_TRUE(lenient.ambiguity_ok);
+  for (const Violation& v : lenient.violations) {
+    EXPECT_NE(v.kind, "truncated-trace");
+  }
 }
 
 TEST(MetricsIntegrationTest, ClusterPopulatesSessionAndNetworkCounters) {

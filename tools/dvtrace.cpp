@@ -1,0 +1,302 @@
+// dvtrace: query and export tool for exported trace.json files.
+//
+//   dvtrace timeline <trace.json>            chronological event listing
+//   dvtrace explain-abort <trace.json> [id]  causal chain of an abort
+//   dvtrace ambiguity <trace.json>           ambiguous-record lifetimes +
+//                                            Theorem-1 bound check
+//   dvtrace spans <trace.json> [--out f]     span report as JSON
+//   dvtrace export-chrome <trace.json> [--out f]
+//                                            Chrome trace-event / Perfetto
+//                                            JSON (validated before write)
+//
+// Exit codes: 0 success, 1 a check failed (Theorem-1 bound exceeded, no
+// causal root, Chrome JSON invalid), 2 usage or I/O error.
+//
+// Everything here works from the file alone — the tool never needs the
+// process that produced the trace (see docs/OBSERVABILITY.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/trace_replay.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using dynvote::JsonValue;
+using dynvote::TraceMetaAndEvents;
+using dynvote::obs::SpanReport;
+using dynvote::obs::TraceEvent;
+using dynvote::obs::TraceEventKind;
+
+int usage() {
+  std::cerr
+      << "usage: dvtrace <command> <trace.json> [args]\n"
+         "  timeline <trace.json>                 list events in order\n"
+         "  explain-abort <trace.json> [view-id]  causal chain of an abort\n"
+         "                                        (default: the last abort)\n"
+         "  ambiguity <trace.json>                lifetimes + Theorem-1 check\n"
+         "  spans <trace.json> [--out FILE]       span report JSON\n"
+         "  export-chrome <trace.json> [--out FILE]\n"
+         "                                        Chrome trace-event JSON\n";
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+/// "--out FILE" anywhere after the trace path; empty = stdout.
+std::string parse_out(int argc, char** argv, int from) {
+  for (int i = from; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") return argv[i + 1];
+  }
+  return {};
+}
+
+std::string describe(const TraceEvent& e) {
+  std::string out = "[" + std::to_string(e.time) + "us] #" +
+                    std::to_string(e.eid) + " " +
+                    std::string(to_string(e.kind)) + " p" +
+                    std::to_string(e.a.value());
+  switch (e.kind) {
+    case TraceEventKind::kMessageSend:
+    case TraceEventKind::kMessageDeliver:
+    case TraceEventKind::kMessageDrop:
+      out += "->p" + std::to_string(e.b.value());
+      if (e.kind == TraceEventKind::kMessageDrop) {
+        out += " (" +
+               std::string(to_string(
+                   static_cast<dynvote::obs::DropCause>(e.value))) +
+               ")";
+      }
+      if (!e.detail.empty()) out += " " + e.detail;
+      break;
+    case TraceEventKind::kTopologyChange:
+      out = "[" + std::to_string(e.time) + "us] #" + std::to_string(e.eid) +
+            " topology " + e.members.to_string();
+      break;
+    case TraceEventKind::kViewInstalled:
+      out += " view " + std::to_string(e.number) + " " + e.members.to_string();
+      break;
+    case TraceEventKind::kSessionAttempt:
+    case TraceEventKind::kSessionFormed:
+    case TraceEventKind::kAmbiguityResolved:
+    case TraceEventKind::kAmbiguityAdopted:
+      out += " session " + std::to_string(e.number) + " " +
+             e.members.to_string();
+      if (e.kind == TraceEventKind::kSessionFormed) {
+        out += " after " + std::to_string(e.value) + " rounds";
+      }
+      if (!e.detail.empty()) out += " [" + e.detail + "]";
+      break;
+    case TraceEventKind::kSessionAbort:
+      out += " view " + std::to_string(e.number) + " " + e.members.to_string() +
+             ": " + e.detail;
+      break;
+    case TraceEventKind::kAmbiguityRecord:
+      out += " level=" + std::to_string(e.value);
+      break;
+    default:
+      break;
+  }
+  if (e.lamport != 0) out += " (L=" + std::to_string(e.lamport) + ")";
+  if (e.cause != 0) out += " <- #" + std::to_string(e.cause);
+  return out;
+}
+
+int cmd_timeline(const TraceMetaAndEvents& trace) {
+  std::cout << "protocol=" << trace.meta.protocol << " n=" << trace.meta.n
+            << " min_quorum=" << trace.meta.min_quorum
+            << " seed=" << trace.meta.seed << " events="
+            << trace.events.size();
+  if (trace.meta.overwritten != 0) {
+    std::cout << " (TRUNCATED: " << trace.meta.overwritten << " evicted)";
+  }
+  std::cout << "\n";
+  for (const TraceEvent& event : trace.events) {
+    std::cout << describe(event) << "\n";
+  }
+  return 0;
+}
+
+int cmd_explain_abort(const TraceMetaAndEvents& trace,
+                      std::optional<std::int64_t> view_id) {
+  const TraceEvent* abort_event = nullptr;
+  for (const TraceEvent& event : trace.events) {
+    if (event.kind != TraceEventKind::kSessionAbort) continue;
+    if (view_id && event.number != *view_id) continue;
+    abort_event = &event;  // keep the last match
+  }
+  if (abort_event == nullptr) {
+    std::cerr << "dvtrace: no matching session abort in trace\n";
+    return 1;
+  }
+
+  const auto chain =
+      dynvote::obs::causal_chain(trace.events, abort_event->eid);
+  std::cout << "abort of view " << abort_event->number << " at p"
+            << abort_event->a.value() << ", reason: " << abort_event->detail
+            << "\ncausal chain (root first):\n";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    std::cout << std::string(2 * i, ' ') << describe(*chain[i]) << "\n";
+  }
+  if (chain.empty() || chain.front()->cause != 0) {
+    std::cerr << "dvtrace: chain truncated (root evicted by the ring "
+                 "bound)\n";
+    return 1;
+  }
+  std::cout << "root cause: " << to_string(chain.front()->kind) << " #"
+            << chain.front()->eid << "\n";
+  return 0;
+}
+
+int cmd_ambiguity(const TraceMetaAndEvents& trace, const SpanReport& report) {
+  const auto& d = report.derived;
+  for (const auto& span : report.ambiguity) {
+    std::cout << "p" << span.process.value() << " session " << span.number
+              << " " << span.members.to_string() << " [" << span.start << "us"
+              << ", " << span.end << "us] " << span.resolution << "\n";
+  }
+  std::cout << "records=" << report.ambiguity.size()
+            << " max_simultaneous=" << d.max_open_ambiguity
+            << " max_level=" << d.max_ambiguity_level
+            << " time_in_ambiguity=" << d.time_in_ambiguity_ticks << "us"
+            << " horizon=" << d.horizon << "us\n";
+  if (trace.meta.ambiguity_bound != 0) {
+    const auto bound =
+        static_cast<std::uint64_t>(trace.meta.ambiguity_bound);
+    if (d.max_open_ambiguity > bound || d.max_ambiguity_level > bound) {
+      std::cerr << "dvtrace: Theorem-1 bound violated: "
+                << "max_simultaneous=" << d.max_open_ambiguity
+                << " max_level=" << d.max_ambiguity_level << " bound=" << bound
+                << "\n";
+      return 1;
+    }
+    std::cout << "Theorem-1 bound ok (<= " << bound << ")\n";
+  } else {
+    std::cout << "Theorem-1 bound not applicable to this protocol\n";
+  }
+  return 0;
+}
+
+int emit_json(const JsonValue& doc, const std::string& out_path) {
+  const std::string text = doc.dump();
+  if (out_path.empty()) {
+    std::cout << text << "\n";
+    return 0;
+  }
+  if (!write_file(out_path, text + "\n")) {
+    std::cerr << "dvtrace: cannot write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out_path << " (" << text.size() + 1 << " bytes)\n";
+  return 0;
+}
+
+/// Validates a Chrome trace-event document by re-parsing its own dump:
+/// traceEvents must be an array, every entry needs name/ph/pid/ts, "X"
+/// entries need dur, and async "b"/"e" pairs must balance per id.
+bool validate_chrome(const JsonValue& doc, std::string& error) {
+  try {
+    const JsonValue reparsed = JsonValue::parse(doc.dump());
+    const JsonValue& events = reparsed.at("traceEvents");
+    std::vector<std::string> open_async;
+    for (const JsonValue& e : events.as_array()) {
+      const std::string& ph = e.at("ph").as_string();
+      (void)e.at("name").as_string();
+      (void)e.at("pid").as_uint();
+      if (ph != "M") (void)e.at("ts").as_uint();
+      if (ph == "X") (void)e.at("dur").as_uint();
+      if (ph == "b") open_async.push_back(e.at("id").as_string());
+      if (ph == "e") {
+        const std::string& id = e.at("id").as_string();
+        const auto it =
+            std::find(open_async.begin(), open_async.end(), id);
+        if (it == open_async.end()) {
+          error = "async end without begin (id " + id + ")";
+          return false;
+        }
+        open_async.erase(it);
+      }
+    }
+    if (!open_async.empty()) {
+      error = std::to_string(open_async.size()) + " unbalanced async begins";
+      return false;
+    }
+  } catch (const dynvote::JsonError& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  const auto text = read_file(path);
+  if (!text) {
+    std::cerr << "dvtrace: cannot read " << path << "\n";
+    return 2;
+  }
+  TraceMetaAndEvents trace;
+  try {
+    trace = dynvote::load_trace_json(*text);
+  } catch (const dynvote::JsonError& e) {
+    std::cerr << "dvtrace: " << path << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  if (command == "timeline") return cmd_timeline(trace);
+
+  if (command == "explain-abort") {
+    std::optional<std::int64_t> view_id;
+    if (argc > 3) view_id = std::stoll(argv[3]);
+    return cmd_explain_abort(trace, view_id);
+  }
+
+  const SpanReport report = dynvote::obs::build_spans(trace.events);
+
+  if (command == "ambiguity") return cmd_ambiguity(trace, report);
+
+  if (command == "spans") {
+    return emit_json(dynvote::obs::spans_to_json(report),
+                     parse_out(argc, argv, 3));
+  }
+
+  if (command == "export-chrome") {
+    const JsonValue doc =
+        dynvote::obs::chrome_trace_json(trace.meta, trace.events, report);
+    std::string error;
+    if (!validate_chrome(doc, error)) {
+      std::cerr << "dvtrace: invalid Chrome trace JSON: " << error << "\n";
+      return 1;
+    }
+    return emit_json(doc, parse_out(argc, argv, 3));
+  }
+
+  return usage();
+}

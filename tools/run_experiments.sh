@@ -7,6 +7,10 @@
 # DYNVOTE_JSON_DIR environment variable; bench_scenario_typical also
 # exports results/trace.json, the replayable structured trace of the E1
 # run). bench_micro uses google-benchmark's native JSON reporter.
+# results/trace.json is then post-processed with tools/dvtrace into
+# trace_ambiguity.txt, trace_spans.json and trace_chrome.json (the
+# latter loads in chrome://tracing / Perfetto); a Theorem-1 lifetime
+# violation or invalid Chrome JSON fails the script.
 #
 # Set DYNVOTE_SKIP_SANITIZERS=1 to skip the ASan/UBSan tier-1 pass
 # (it builds a second tree under build-asan/).
@@ -38,6 +42,22 @@ if [ -x build/bench/bench_micro ]; then
   build/bench/bench_micro \
     --benchmark_out="results/BENCH_bench_micro.json" \
     --benchmark_out_format=json | tee "results/bench_micro.txt"
+fi
+
+# Post-process the E1 reference trace with dvtrace: the ambiguity report
+# re-checks the Theorem-1 lifetime bound from the file alone, and the
+# Chrome export is validated before it is written. Both failures are
+# fatal — the trace artifacts must stay queryable.
+if [ -f results/trace.json ]; then
+  echo "== dvtrace (results/trace.json)"
+  # No pipeline here: a pipe would let tee mask a failed bound check.
+  build/tools/dvtrace ambiguity results/trace.json \
+    > results/trace_ambiguity.txt
+  cat results/trace_ambiguity.txt
+  build/tools/dvtrace export-chrome results/trace.json \
+    --out results/trace_chrome.json
+  build/tools/dvtrace spans results/trace.json \
+    --out results/trace_spans.json
 fi
 
 # Tier-1 suite under AddressSanitizer + UndefinedBehaviorSanitizer.
