@@ -16,6 +16,7 @@
 #include "harness/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "harness/schedule.hpp"
+#include "harness/sweep.hpp"
 #include "util/table.hpp"
 
 namespace dynvote {
@@ -59,8 +60,11 @@ std::size_t run_exponential(ProtocolKind kind, std::uint32_t n) {
 
 std::size_t random_schedule_high_water(ProtocolKind kind, std::uint32_t n,
                                        std::size_t min_quorum) {
-  std::size_t high_water = 0;
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+  // The five seeds are independent simulations; run them on the sweep
+  // pool. max() over the index-ordered slots is order-insensitive, so
+  // the verdict is identical at any thread count.
+  const auto high_waters = sweep_map<std::size_t>(5, 0, [&](std::size_t i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
     ScheduleOptions schedule_options;
     schedule_options.seed = seed * 997 + n;
     schedule_options.duration = 1'500'000;
@@ -68,9 +72,10 @@ std::size_t random_schedule_high_water(ProtocolKind kind, std::uint32_t n,
     ClusterOptions base;
     base.n = n;
     base.config.min_quorum = min_quorum;
-    const auto result = run_schedule(kind, schedule, base);
-    high_water = std::max(high_water, result.max_ambiguous);
-  }
+    return run_schedule(kind, schedule, base).max_ambiguous;
+  });
+  std::size_t high_water = 0;
+  for (const std::size_t hw : high_waters) high_water = std::max(high_water, hw);
   return high_water;
 }
 

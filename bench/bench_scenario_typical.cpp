@@ -8,6 +8,7 @@
 // Expected shape (paper): the naive protocol class ends with TWO live
 // quorums ({a,b} and {c,d,e}); the paper's protocols end with exactly
 // one ({a,b}), because c recorded the ambiguous {a,b,c} attempt.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@ struct Outcome {
   std::string trace_json;        // full structured trace of the run
   TraceCheckResult replay;       // offline re-verification of that trace
   obs::SpanReport spans;         // causal spans folded from the trace
+  std::size_t trace_events = 0;  // event count of the exported trace
   /// Disagreements between the trace-derived metrics and the live
   /// registry (must be empty: the two accounts describe one run).
   std::vector<std::string> cross_check;
@@ -96,8 +98,9 @@ Outcome run(ProtocolKind kind) {
   // Export the structured trace and re-verify it offline: the replay
   // checker must reach the same verdict as the live one.
   outcome.trace_json =
-      trace_to_json(cluster.trace_meta(), cluster.sim().trace()).dump();
+      trace_json_string(cluster.trace_meta(), cluster.sim().trace());
   const TraceMetaAndEvents parsed = load_trace_json(outcome.trace_json);
+  outcome.trace_events = parsed.events.size();
   outcome.replay = check_trace(parsed);
   outcome.spans = obs::build_spans(parsed.events);
   outcome.cross_check =
@@ -120,6 +123,10 @@ int main() {
   result.set("n", JsonValue(std::uint64_t{5}));
   result.set("seed", JsonValue(std::uint64_t{2026}));
   JsonValue rows = JsonValue::array();
+  // In-process wall time of the full end-to-end loop (simulate + export +
+  // replay + spans, all 7 protocols). Reported separately because total
+  // process wall-clock is dominated by exec/link overhead at this size.
+  const auto wall_start = std::chrono::steady_clock::now();
   for (ProtocolKind kind :
        {ProtocolKind::kNaiveDynamic, ProtocolKind::kLastAttemptOnly,
         ProtocolKind::kBasic, ProtocolKind::kOptimized,
@@ -144,9 +151,7 @@ int main() {
     row.set("trace_replay_consistent", JsonValue(outcome.replay.consistent()));
     row.set("trace_replay_violations",
             JsonValue(std::uint64_t{outcome.replay.violations.size()}));
-    row.set("trace_events",
-            JsonValue(std::uint64_t{
-                load_trace_json(outcome.trace_json).events.size()}));
+    row.set("trace_events", JsonValue(std::uint64_t{outcome.trace_events}));
     const auto& derived = outcome.spans.derived;
     row.set("ambiguity_spans",
             JsonValue(std::uint64_t{outcome.spans.ambiguity.size()}));
@@ -159,8 +164,14 @@ int main() {
     row.set("cross_check_ok", JsonValue(outcome.cross_check.empty()));
     rows.push_back(std::move(row));
   }
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
   result.set("rows", std::move(rows));
+  result.set("wall_us", JsonValue(static_cast<std::uint64_t>(wall_us)));
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("end-to-end wall (7 protocols, sim+export+replay): %lld us\n\n",
+              static_cast<long long>(wall_us));
   std::puts("Paper expectation: naive class -> two live quorums (inconsistent);");
   std::puts("the paper's protocols -> exactly {p0,p1}, with c's ambiguous record");
   std::puts("of {p0,p1,p2} blocking {p2,p3,p4}.");

@@ -18,9 +18,9 @@ NaiveDynamicProtocol::NaiveDynamicProtocol(sim::Simulator& sim, ProcessId id,
 }
 
 void NaiveDynamicProtocol::persist() {
-  Encoder enc;
+  Encoder& enc = scratch_encoder();
   state_.encode(enc);
-  storage().put(kStateKey, std::move(enc).take());
+  storage().put(kStateKey, enc.bytes().data(), enc.size());
 }
 
 void NaiveDynamicProtocol::handle_recover() {

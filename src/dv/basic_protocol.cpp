@@ -99,9 +99,9 @@ BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
 }
 
 void BasicDvProtocol::persist() {
-  Encoder enc;
+  Encoder& enc = scratch_encoder();
   state_.encode(enc);
-  storage().put(kStateKey, std::move(enc).take());
+  storage().put(kStateKey, enc.bytes().data(), enc.size());
 }
 
 void BasicDvProtocol::handle_recover() {

@@ -43,9 +43,9 @@ bool CentralizedDvProtocol::coordinating() const {
 }
 
 void CentralizedDvProtocol::persist() {
-  Encoder enc;
+  Encoder& enc = scratch_encoder();
   state_.encode(enc);
-  storage().put(kStateKey, std::move(enc).take());
+  storage().put(kStateKey, enc.bytes().data(), enc.size());
 }
 
 void CentralizedDvProtocol::on_view(const View& view) {

@@ -17,15 +17,16 @@ void InfoPayload::encode(Encoder& enc) const {
 }
 
 std::size_t InfoPayload::encoded_size() const {
-  Encoder enc;
-  encode(enc);
-  return enc.size();
+  if (cached_size_ == 0) {
+    Encoder enc;
+    encode(enc);
+    cached_size_ = enc.size();
+  }
+  return cached_size_;
 }
 
 std::size_t AttemptPayload::encoded_size() const {
-  Encoder enc;
-  enc.put_i64(session_number);
-  return enc.size();
+  return 8;  // one put_i64(session_number)
 }
 
 std::size_t RoundPayload::encoded_size() const {

@@ -49,6 +49,13 @@ class InfoPayload final : public PhasedPayload {
   [[nodiscard]] std::size_t encoded_size() const override;
 
   void encode(Encoder& enc) const;
+
+ private:
+  // A broadcast asks for the size once per recipient; the payload is
+  // immutable by the time it reaches the network, so encode once.
+  // (Every encoding starts with an 8-byte session number, so 0 is free
+  // as the "not yet computed" sentinel.)
+  mutable std::size_t cached_size_ = 0;
 };
 
 /// The attempt message (paper figure 1, step 2). Phase 1 in the

@@ -16,6 +16,7 @@
 #include "membership/view.hpp"
 #include "obs/trace.hpp"
 #include "sim/node.hpp"
+#include "util/codec.hpp"
 
 namespace dynvote {
 
@@ -138,7 +139,16 @@ class ProtocolNode : public sim::Node {
 
   [[nodiscard]] ProtocolObserver* observer() const noexcept { return observer_; }
 
+  /// Scratch encoder for the persist path. Returned cleared; the buffer
+  /// capacity persists across calls, so a protocol that re-encodes its
+  /// state on every step stops paying one allocation per stable write.
+  [[nodiscard]] Encoder& scratch_encoder() noexcept {
+    scratch_.clear();
+    return scratch_;
+  }
+
  private:
+  Encoder scratch_;
   ProtocolObserver* observer_ = nullptr;
   PrimaryListener* listener_ = nullptr;
   std::optional<Session> primary_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dv/basic_protocol.hpp"
+#include "harness/sweep.hpp"
 #include "util/ensure.hpp"
 
 namespace dynvote {
@@ -68,21 +69,36 @@ AvailabilityResult run_schedule(ProtocolKind kind,
 
 std::vector<AvailabilityResult> compare_protocols(
     const std::vector<ProtocolKind>& kinds, const ClusterOptions& base,
-    ScheduleOptions schedule_options, int count) {
+    ScheduleOptions schedule_options, int count, std::size_t threads) {
   ensure(count >= 1, "need at least one schedule");
   const ProcessSet processes =
       base.config.core.empty() ? ProcessSet::range(base.n) : base.config.core;
 
+  // Every (kind, seed) cell is an independent simulation; fan the grid
+  // out over the sweep pool and reduce the index-ordered slots below.
+  // The reduction runs kind-major in ascending seed order — the exact
+  // association of the old serial loop — so the averages are
+  // bit-identical at any thread count.
+  const std::size_t runs =
+      kinds.size() * static_cast<std::size_t>(count);
+  const std::vector<AvailabilityResult> cells =
+      sweep_map<AvailabilityResult>(runs, threads, [&](std::size_t idx) {
+        const ProtocolKind kind = kinds[idx / static_cast<std::size_t>(count)];
+        ScheduleOptions opts = schedule_options;
+        opts.seed = schedule_options.seed +
+                    static_cast<std::uint64_t>(idx % static_cast<std::size_t>(count));
+        const auto schedule = generate_schedule(processes, opts);
+        return run_schedule(kind, schedule, base);
+      });
+
   std::vector<AvailabilityResult> totals;
   totals.reserve(kinds.size());
-  for (ProtocolKind kind : kinds) {
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
     AvailabilityResult sum;
-    sum.kind = kind;
+    sum.kind = kinds[k];
     for (int i = 0; i < count; ++i) {
-      ScheduleOptions opts = schedule_options;
-      opts.seed = schedule_options.seed + static_cast<std::uint64_t>(i);
-      const auto schedule = generate_schedule(processes, opts);
-      const AvailabilityResult one = run_schedule(kind, schedule, base);
+      const AvailabilityResult& one =
+          cells[k * static_cast<std::size_t>(count) + static_cast<std::size_t>(i)];
       sum.availability += one.availability;
       sum.formed_sessions += one.formed_sessions;
       sum.rejected_sessions += one.rejected_sessions;

@@ -37,8 +37,12 @@ struct AvailabilityResult {
 
 /// Convenience: run every given protocol against `count` schedules
 /// generated from consecutive seeds, averaging the results per protocol.
+/// The (kind, seed) grid runs on the sweep pool (harness/sweep.hpp) —
+/// `threads` = 0 means DYNVOTE_THREADS / hardware_concurrency — and the
+/// per-protocol averages are reduced in seed order, so the output is
+/// identical at any thread count.
 [[nodiscard]] std::vector<AvailabilityResult> compare_protocols(
     const std::vector<ProtocolKind>& kinds, const ClusterOptions& base,
-    ScheduleOptions schedule_options, int count);
+    ScheduleOptions schedule_options, int count, std::size_t threads = 0);
 
 }  // namespace dynvote

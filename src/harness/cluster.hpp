@@ -14,6 +14,7 @@
 #include "harness/events.hpp"
 #include "membership/membership_oracle.hpp"
 #include "sim/simulator.hpp"
+#include "util/ensure.hpp"
 
 namespace dynvote {
 
@@ -92,8 +93,16 @@ class Cluster {
   void crash(ProcessId p) { sim_.crash(p); }
   void recover(ProcessId p) { sim_.recover(p); }
 
-  /// Runs until no events remain (all sessions settled).
-  void settle() { sim_.run_to_quiescence(); }
+  /// Runs until no events remain (all sessions settled). Throws
+  /// InvariantViolation if the event budget trips with work still
+  /// pending: a runaway schedule must fail loudly, not produce a
+  /// silently truncated bench row.
+  void settle(std::size_t max_events = sim::EventQueue::kDefaultMaxEvents) {
+    sim_.run_to_quiescence(max_events);
+    ensure(sim_.queue().empty(),
+           "settle: event budget exhausted with events still pending "
+           "(runaway schedule)");
+  }
 
   // -- queries -----------------------------------------------------------------
 

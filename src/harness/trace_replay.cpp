@@ -1,6 +1,7 @@
 #include "harness/trace_replay.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <iterator>
 
 namespace dynvote {
@@ -22,6 +23,7 @@ obs::TraceEventKind kind_from_string(std::string_view s) {
 
 JsonValue process_set_to_json(const ProcessSet& set) {
   JsonValue arr = JsonValue::array();
+  arr.reserve(set.size());
   for (const ProcessId p : set) {
     arr.push_back(JsonValue(static_cast<std::uint64_t>(p.value())));
   }
@@ -30,6 +32,7 @@ JsonValue process_set_to_json(const ProcessSet& set) {
 
 ProcessSet process_set_from_json(const JsonValue& value) {
   std::vector<ProcessId> members;
+  members.reserve(value.as_array().size());
   for (const JsonValue& entry : value.as_array()) {
     members.emplace_back(static_cast<std::uint32_t>(entry.as_uint()));
   }
@@ -99,6 +102,7 @@ TraceCheckResult check_trace(const TraceMetaAndEvents& trace,
 JsonValue trace_to_json(const obs::TraceMeta& meta,
                         const obs::TraceSink& sink) {
   JsonValue meta_json = JsonValue::object();
+  meta_json.reserve(8);
   meta_json.set("schema_version", JsonValue(kTraceSchemaVersion));
   meta_json.set("protocol", JsonValue(meta.protocol));
   meta_json.set("n", JsonValue(static_cast<std::uint64_t>(meta.n)));
@@ -111,8 +115,10 @@ JsonValue trace_to_json(const obs::TraceMeta& meta,
   meta_json.set("overwritten", JsonValue(sink.overwritten()));
 
   JsonValue events = JsonValue::array();
+  events.reserve(sink.events().size());
   for (const obs::TraceEvent& event : sink.events()) {
     JsonValue e = JsonValue::object();
+    e.reserve(10);  // t k a e + up to 7 optional fields, most absent
     e.set("t", JsonValue(event.time));
     e.set("k", JsonValue(to_string(event.kind)));
     e.set("a", JsonValue(static_cast<std::uint64_t>(event.a.value())));
@@ -139,6 +145,103 @@ JsonValue trace_to_json(const obs::TraceMeta& meta,
   return out;
 }
 
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, end);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[21];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, end);
+}
+
+void append_set(std::string& out, const ProcessSet& set) {
+  out.push_back('[');
+  bool first = true;
+  for (const ProcessId p : set) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_u64(out, p.value());
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string trace_json_string(const obs::TraceMeta& meta,
+                              const obs::TraceSink& sink) {
+  // Field-for-field the schema of trace_to_json — a unit test holds the
+  // two outputs byte-identical. Kind names are plain identifiers, so only
+  // "protocol" and "d" go through json_escape.
+  std::string out;
+  out.reserve(128 + sink.events().size() * 72);
+  out += "{\"meta\":{\"schema_version\":";
+  append_i64(out, kTraceSchemaVersion);
+  out += ",\"protocol\":";
+  json_escape(out, meta.protocol);
+  out += ",\"n\":";
+  append_u64(out, meta.n);
+  out += ",\"min_quorum\":";
+  append_u64(out, meta.min_quorum);
+  out += ",\"seed\":";
+  append_u64(out, meta.seed);
+  out += ",\"core\":";
+  append_set(out, meta.core);
+  out += ",\"ambiguity_bound\":";
+  append_u64(out, meta.ambiguity_bound);
+  out += ",\"overwritten\":";
+  append_u64(out, sink.overwritten());
+  out += "},\"events\":[";
+  bool first = true;
+  for (const obs::TraceEvent& event : sink.events()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"t\":";
+    append_u64(out, event.time);
+    out += ",\"k\":\"";
+    out += to_string(event.kind);
+    out += "\",\"a\":";
+    append_u64(out, event.a.value());
+    if (event.b != ProcessId{}) {
+      out += ",\"b\":";
+      append_u64(out, event.b.value());
+    }
+    if (event.number != 0) {
+      out += ",\"n\":";
+      append_i64(out, event.number);
+    }
+    if (event.value != 0) {
+      out += ",\"v\":";
+      append_u64(out, event.value);
+    }
+    if (!event.members.empty()) {
+      out += ",\"m\":";
+      append_set(out, event.members);
+    }
+    if (!event.detail.empty()) {
+      out += ",\"d\":";
+      json_escape(out, event.detail);
+    }
+    out += ",\"e\":";
+    append_u64(out, event.eid);
+    if (event.lamport != 0) {
+      out += ",\"l\":";
+      append_u64(out, event.lamport);
+    }
+    if (event.cause != 0) {
+      out += ",\"c\":";
+      append_u64(out, event.cause);
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
 TraceMetaAndEvents load_trace_json(std::string_view text) {
   const JsonValue doc = JsonValue::parse(text);
   TraceMetaAndEvents out;
@@ -160,23 +263,41 @@ TraceMetaAndEvents load_trace_json(std::string_view text) {
     out.meta.overwritten = ow->as_uint();
   }
 
-  for (const JsonValue& e : doc.at("events").as_array()) {
+  const JsonValue::Array& events = doc.at("events").as_array();
+  out.events.reserve(events.size());
+  for (const JsonValue& e : events) {
     obs::TraceEvent event;
-    event.time = e.at("t").as_uint();
-    event.kind = kind_from_string(e.at("k").as_string());
-    event.a = ProcessId(static_cast<std::uint32_t>(e.at("a").as_uint()));
-    if (const JsonValue* b = e.find("b")) {
-      event.b = ProcessId(static_cast<std::uint32_t>(b->as_uint()));
+    // One pass over the object instead of a find() per field: every key
+    // is a single character, and a big trace has thousands of events.
+    bool has_t = false, has_k = false, has_a = false, has_e = false;
+    for (const auto& [key, value] : e.as_object()) {
+      if (key.size() != 1) continue;
+      switch (key[0]) {
+        case 't': event.time = value.as_uint(); has_t = true; break;
+        case 'k':
+          event.kind = kind_from_string(value.as_string());
+          has_k = true;
+          break;
+        case 'a':
+          event.a = ProcessId(static_cast<std::uint32_t>(value.as_uint()));
+          has_a = true;
+          break;
+        case 'b':
+          event.b = ProcessId(static_cast<std::uint32_t>(value.as_uint()));
+          break;
+        case 'n': event.number = value.as_int(); break;
+        case 'v': event.value = value.as_uint(); break;
+        case 'm': event.members = process_set_from_json(value); break;
+        case 'd': event.detail = value.as_string(); break;
+        case 'e': event.eid = value.as_uint(); has_e = true; break;
+        case 'l': event.lamport = value.as_uint(); break;
+        case 'c': event.cause = value.as_uint(); break;
+        default: break;
+      }
     }
-    if (const JsonValue* n = e.find("n")) event.number = n->as_int();
-    if (const JsonValue* v = e.find("v")) event.value = v->as_uint();
-    if (const JsonValue* m = e.find("m")) {
-      event.members = process_set_from_json(*m);
+    if (!has_t || !has_k || !has_a || !has_e) {
+      throw JsonError("trace: event record is missing t, k, a, or e");
     }
-    if (const JsonValue* d = e.find("d")) event.detail = d->as_string();
-    event.eid = e.at("e").as_uint();
-    if (const JsonValue* l = e.find("l")) event.lamport = l->as_uint();
-    if (const JsonValue* c = e.find("c")) event.cause = c->as_uint();
     out.events.push_back(std::move(event));
   }
   return out;

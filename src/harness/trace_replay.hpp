@@ -84,6 +84,13 @@ struct TraceMetaAndEvents {
 [[nodiscard]] JsonValue trace_to_json(const obs::TraceMeta& meta,
                                       const obs::TraceSink& sink);
 
+/// The compact trace.json document, byte-identical to
+/// trace_to_json(meta, sink).dump() but written straight into the output
+/// string — no intermediate JSON tree. The export side of every
+/// simulate-export-replay loop runs through here.
+[[nodiscard]] std::string trace_json_string(const obs::TraceMeta& meta,
+                                            const obs::TraceSink& sink);
+
 /// Parses a trace.json document produced by trace_to_json. Throws
 /// JsonError on schema violations.
 [[nodiscard]] TraceMetaAndEvents load_trace_json(std::string_view text);

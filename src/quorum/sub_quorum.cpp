@@ -30,16 +30,21 @@ bool QuorumCalculus::unconditional(const ProcessSet& T) const {
   return overlap + min_quorum_ > all_.size();
 }
 
-bool QuorumCalculus::sub_quorum(const std::optional<ProcessSet>& S,
+bool QuorumCalculus::sub_quorum(const ProcessSet& S,
                                 const ProcessSet& T) const {
   if (!meets_min_quorum(T)) return false;
-  if (!S.has_value()) return false;  // Sub_Quorum(∞, T) = FALSE
-  if (T.contains_majority_of(*S)) return true;
-  if (linear_tie_break_ && T.contains_exact_half_of(*S) &&
-      tie_break_favors(*S, T)) {
+  if (T.contains_majority_of(S)) return true;
+  if (linear_tie_break_ && T.contains_exact_half_of(S) &&
+      tie_break_favors(S, T)) {
     return true;
   }
   return unconditional(T);
+}
+
+bool QuorumCalculus::sub_quorum(const std::optional<ProcessSet>& S,
+                                const ProcessSet& T) const {
+  if (!S.has_value()) return false;  // Sub_Quorum(∞, T) = FALSE
+  return sub_quorum(*S, T);
 }
 
 std::string QuorumCalculus::to_string() const {

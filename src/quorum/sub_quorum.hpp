@@ -52,6 +52,12 @@ class QuorumCalculus {
   /// predicate checks both.
   [[nodiscard]] bool unconditional(const ProcessSet& T) const;
 
+  /// The full predicate for a known (finite) previous quorum. Overload
+  /// taken by the attempt-step hot path, which holds concrete session
+  /// membership sets — routing those through the optional overload would
+  /// deep-copy S into a temporary per evaluation.
+  [[nodiscard]] bool sub_quorum(const ProcessSet& S, const ProcessSet& T) const;
+
   /// The full predicate. `S == nullopt` encodes the ∞ previous quorum.
   [[nodiscard]] bool sub_quorum(const std::optional<ProcessSet>& S,
                                 const ProcessSet& T) const;

@@ -1,13 +1,18 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/ensure.hpp"
 
 namespace dynvote::sim {
 
 EventToken EventQueue::schedule_at(SimTime t, Action action) {
   ensure(t >= now_, "scheduling into the past");
+  ensure(static_cast<bool>(action), "scheduling an empty action");
   EventToken token = next_token_++;
-  events_.emplace(Key{t, token}, std::move(action));
+  heap_.push_back(Entry{t, token, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), After{});
+  ++live_;
   return token;
 }
 
@@ -16,29 +21,44 @@ EventToken EventQueue::schedule_after(SimTime delay, Action action) {
 }
 
 bool EventQueue::cancel(EventToken token) {
-  for (auto it = events_.begin(); it != events_.end(); ++it) {
-    if (it->first.second == token) {
-      events_.erase(it);
+  // Linear scan, as before the heap rewrite: cancellation is a cold path
+  // (timers being superseded), and tombstoning in place keeps the heap
+  // intact — the entry is discarded when it reaches the top.
+  for (Entry& entry : heap_) {
+    if (entry.token == token && entry.action) {
+      entry.action.reset();
+      --live_;
       return true;
     }
   }
   return false;
 }
 
+void EventQueue::skim_tombstones() {
+  while (!heap_.empty() && !heap_.front().action) {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    heap_.pop_back();
+  }
+}
+
 bool EventQueue::run_next() {
-  if (events_.empty()) return false;
-  auto it = events_.begin();
-  now_ = it->first.first;
-  Action action = std::move(it->second);
-  events_.erase(it);
+  skim_tombstones();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), After{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = entry.time;
+  --live_;
   ++executed_;
-  action();
+  entry.action();
   return true;
 }
 
 std::size_t EventQueue::run_until(SimTime t) {
   std::size_t count = 0;
-  while (!events_.empty() && events_.begin()->first.first <= t) {
+  for (;;) {
+    skim_tombstones();
+    if (heap_.empty() || heap_.front().time > t) break;
     run_next();
     ++count;
   }
@@ -47,9 +67,14 @@ std::size_t EventQueue::run_until(SimTime t) {
 }
 
 std::size_t EventQueue::run_all(std::size_t max_events) {
-  std::size_t count = 0;
-  while (count < max_events && run_next()) ++count;
-  return count;
+  return drain(max_events).executed;
+}
+
+EventQueue::DrainResult EventQueue::drain(std::size_t max_events) {
+  DrainResult result;
+  while (result.executed < max_events && run_next()) ++result.executed;
+  result.status = empty() ? DrainStatus::kDrained : DrainStatus::kEventLimit;
+  return result;
 }
 
 }  // namespace dynvote::sim

@@ -3,14 +3,22 @@
 // The whole library runs on virtual time: an event is a closure scheduled
 // at a SimTime; ties are broken by insertion sequence so executions are
 // fully deterministic (same seed => same trace, byte for byte).
+//
+// Storage is a flat binary min-heap over (time, seq) rather than a
+// red-black tree: push/pop touch a contiguous vector (no per-event node
+// allocation, cache-friendly sift paths), and the callback type keeps
+// captures up to ~100 bytes inline so the common scheduling path —
+// including the network's delivery closure with its full Envelope —
+// allocates nothing. Cancellation tombstones the entry in place; dead
+// entries are discarded lazily when they surface at the heap top.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "util/ids.hpp"
+#include "util/inline_function.hpp"
 
 namespace dynvote::sim {
 
@@ -19,7 +27,21 @@ using EventToken = std::uint64_t;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Inline capacity covers the network's delivery closure (an Envelope
+  /// plus a pointer and an epoch) with headroom; larger captures fall
+  /// back to one heap box, never silently truncate.
+  using Action = InlineFunction<void(), 104>;
+
+  /// How a bounded run ended: the queue ran dry, or the event budget was
+  /// exhausted with work still pending (a runaway schedule).
+  enum class DrainStatus { kDrained, kEventLimit };
+
+  struct DrainResult {
+    std::size_t executed = 0;
+    DrainStatus status = DrainStatus::kDrained;
+  };
+
+  static constexpr std::size_t kDefaultMaxEvents = 10'000'000;
 
   /// Current virtual time. Starts at 0 and only advances when events run.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -43,20 +65,41 @@ class EventQueue {
   std::size_t run_until(SimTime t);
 
   /// Runs events until the queue drains or `max_events` executed.
-  /// Returns the number executed.
-  std::size_t run_all(std::size_t max_events = 10'000'000);
+  /// Returns the number executed. Prefer drain() when the caller must
+  /// distinguish a drained queue from a tripped event budget.
+  std::size_t run_all(std::size_t max_events = kDefaultMaxEvents);
 
-  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+  /// Like run_all, but reports whether the queue actually drained or the
+  /// event budget stopped it with work still pending.
+  DrainResult drain(std::size_t max_events = kDefaultMaxEvents);
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
 
  private:
-  using Key = std::pair<SimTime, EventToken>;
+  struct Entry {
+    SimTime time = 0;
+    EventToken token = 0;
+    Action action;  // empty == cancelled (tombstone)
+  };
+
+  /// std::push_heap/pop_heap build a max-heap; order entries so the
+  /// earliest (time, token) surfaces at the top.
+  struct After {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return b.time < a.time || (b.time == a.time && b.token < a.token);
+    }
+  };
+
+  /// Discards tombstones sitting at the heap top.
+  void skim_tombstones();
 
   SimTime now_ = 0;
   EventToken next_token_ = 1;
   std::size_t executed_ = 0;
-  std::map<Key, Action> events_;
+  std::size_t live_ = 0;  // heap entries that are not tombstones
+  std::vector<Entry> heap_;
 };
 
 }  // namespace dynvote::sim

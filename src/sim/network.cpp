@@ -1,18 +1,11 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "util/ensure.hpp"
 
 namespace dynvote::sim {
-
-namespace {
-
-std::pair<ProcessId, ProcessId> ordered_pair(ProcessId a, ProcessId b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
-}  // namespace
 
 Network::Network(EventQueue& queue, Rng rng, Logger& logger,
                  LatencyModel latency, obs::TraceSink& trace,
@@ -35,25 +28,49 @@ Network::Network(EventQueue& queue, Rng rng, Logger& logger,
   ensure(latency_.min <= latency_.max, "latency model min > max");
 }
 
+std::size_t Network::tri_index(ProcessId a, ProcessId b) {
+  std::uint64_t lo = a.value();
+  std::uint64_t hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return static_cast<std::size_t>(hi * (hi - 1) / 2 + lo);
+}
+
+std::size_t Network::directed_index(ProcessId from, ProcessId to) {
+  return tri_index(from, to) * 2 + (from.value() > to.value() ? 1 : 0);
+}
+
 void Network::add_process(ProcessId p) {
-  ensure(!entries_.contains(p), "process added twice");
+  ensure(!known(p), "process added twice");
   processes_.insert(p);
-  ProcessEntry entry;
+  if (p.value() >= entries_.size()) {
+    entries_.resize(p.value() + 1);
+    // Append pair slots for every pair whose larger id is <= the new
+    // maximum. Fresh slots start at epoch 0 / no tail, exactly the state
+    // an untouched pair had under the old sparse maps.
+    const std::uint64_t max_id = entries_.size() - 1;
+    const std::size_t pair_slots =
+        static_cast<std::size_t>(max_id * (max_id + 1) / 2);
+    link_epochs_.resize(pair_slots, 0);
+    fifo_tails_.resize(pair_slots * 2, 0);
+  }
+  ProcessEntry& entry = entries_[p.value()];
+  entry.registered = true;
+  entry.alive = true;
   entry.component = next_component_++;
-  entries_.emplace(p, std::move(entry));
 }
 
 void Network::set_delivery_handler(ProcessId p,
                                    std::function<void(Envelope)> handler) {
-  ensure(entries_.contains(p), "unknown process");
-  entries_.at(p).handler = std::move(handler);
+  ensure(known(p), "unknown process");
+  entries_[p.value()].handler = std::move(handler);
 }
 
-std::map<ProcessId, Network::ConnectivityEntry>
-Network::snapshot_connectivity() const {
-  std::map<ProcessId, ConnectivityEntry> out;
-  for (const auto& [p, entry] : entries_) {
-    out.emplace(p, ConnectivityEntry{entry.alive, entry.component});
+std::vector<Network::ConnectivityEntry> Network::snapshot_connectivity()
+    const {
+  std::vector<ConnectivityEntry> out(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out[i] = ConnectivityEntry{entries_[i].registered && entries_[i].alive,
+                               entries_[i].component};
   }
   return out;
 }
@@ -63,16 +80,17 @@ void Network::set_components(const std::vector<ProcessSet>& groups) {
   ProcessSet seen;
   for (const ProcessSet& group : groups) {
     for (ProcessId p : group) {
-      ensure(entries_.contains(p), "set_components: unknown process");
+      ensure(known(p), "set_components: unknown process");
       ensure(seen.insert(p), "set_components: process in two groups");
     }
   }
   const auto before = snapshot_connectivity();
   for (const ProcessSet& group : groups) {
     const std::uint32_t component = next_component_++;
-    for (ProcessId p : group) entries_.at(p).component = component;
+    for (ProcessId p : group) entries_[p.value()].component = component;
   }
   bump_epochs_for_disconnections(before);
+  prune_stale_fifo_tails();
   logger_.log(queue_.now(), LogLevel::kDebug, "net", [&] {
     std::string s = "components:";
     for (const auto& c : live_components()) s += " " + c.to_string();
@@ -88,16 +106,17 @@ void Network::merge_all() {
 }
 
 void Network::set_alive(ProcessId p, bool alive) {
-  ensure(entries_.contains(p), "unknown process");
-  if (entries_.at(p).alive == alive) return;
+  ensure(known(p), "unknown process");
+  if (entries_[p.value()].alive == alive) return;
   const auto before = snapshot_connectivity();
-  entries_.at(p).alive = alive;
+  entries_[p.value()].alive = alive;
   if (alive) {
     // A recovering process comes back in its own fresh component; a merge
     // (set_components) reconnects it explicitly.
-    entries_.at(p).component = next_component_++;
+    entries_[p.value()].component = next_component_++;
   }
   bump_epochs_for_disconnections(before);
+  prune_stale_fifo_tails();
   logger_.log(queue_.now(), LogLevel::kDebug, "net",
               to_string(p) + (alive ? " recovered" : " crashed"));
   obs::TraceEvent event;
@@ -113,22 +132,21 @@ void Network::set_alive(ProcessId p, bool alive) {
 }
 
 bool Network::alive(ProcessId p) const {
-  auto it = entries_.find(p);
-  return it != entries_.end() && it->second.alive;
+  return known(p) && entries_[p.value()].alive;
 }
 
 bool Network::connected(ProcessId a, ProcessId b) const {
   if (a == b) return alive(a);
-  auto ia = entries_.find(a);
-  auto ib = entries_.find(b);
-  if (ia == entries_.end() || ib == entries_.end()) return false;
-  return ia->second.alive && ib->second.alive &&
-         ia->second.component == ib->second.component;
+  if (!known(a) || !known(b)) return false;
+  const ProcessEntry& ea = entries_[a.value()];
+  const ProcessEntry& eb = entries_[b.value()];
+  return ea.alive && eb.alive && ea.component == eb.component;
 }
 
 std::vector<ProcessSet> Network::live_components() const {
   std::map<std::uint32_t, ProcessSet> by_component;
-  for (const auto& [p, entry] : entries_) {
+  for (ProcessId p : processes_) {
+    const ProcessEntry& entry = entries_[p.value()];
     if (entry.alive) by_component[entry.component].insert(p);
   }
   std::vector<ProcessSet> out;
@@ -142,33 +160,45 @@ std::vector<ProcessSet> Network::live_components() const {
 ProcessSet Network::component_of(ProcessId p) const {
   ProcessSet out;
   if (!alive(p)) return out;
-  const std::uint32_t component = entries_.at(p).component;
-  for (const auto& [q, entry] : entries_) {
+  const std::uint32_t component = entries_[p.value()].component;
+  for (ProcessId q : processes_) {
+    const ProcessEntry& entry = entries_[q.value()];
     if (entry.alive && entry.component == component) out.insert(q);
   }
   return out;
 }
 
 void Network::bump_epochs_for_disconnections(
-    const std::map<ProcessId, ConnectivityEntry>& before) {
+    const std::vector<ConnectivityEntry>& before) {
   auto was_connected = [&](ProcessId a, ProcessId b) {
-    const auto& ea = before.at(a);
-    const auto& eb = before.at(b);
+    const ConnectivityEntry& ea = before[a.value()];
+    const ConnectivityEntry& eb = before[b.value()];
     return ea.alive && eb.alive && ea.component == eb.component;
   };
   for (ProcessId a : processes_) {
     for (ProcessId b : processes_) {
       if (!(a < b)) continue;
       if (was_connected(a, b) && !connected(a, b)) {
-        ++link_epochs_[ordered_pair(a, b)];
+        const std::size_t tri = tri_index(a, b);
+        ++link_epochs_[tri];
         // The cut loses everything in flight on this pair, so the FIFO
-        // tail must not constrain the healed link: without this erase the
+        // tail must not constrain the healed link: without this clear the
         // first message after a heal is delayed behind ghosts of messages
         // that were dropped by the epoch check.
-        last_scheduled_delivery_.erase({a, b});
-        last_scheduled_delivery_.erase({b, a});
+        fifo_tails_[tri * 2] = 0;
+        fifo_tails_[tri * 2 + 1] = 0;
       }
     }
+  }
+}
+
+void Network::prune_stale_fifo_tails() {
+  // A tail at or before the current time cannot clamp anything: every new
+  // delivery is scheduled at >= now, so max(when, tail) == when. Dropping
+  // such tails is therefore invisible to the schedule.
+  const SimTime now = queue_.now();
+  for (SimTime& slot : fifo_tails_) {
+    if (slot != 0 && slot - 1 <= now) slot = 0;
   }
 }
 
@@ -183,7 +213,7 @@ void Network::record_topology(std::uint64_t cause) {
     const std::uint64_t eid = trace_.record(std::move(event));
     // Remember, per process, the topology event that last reshaped its
     // component: the membership oracle's next view install cites it.
-    for (ProcessId p : component) entries_.at(p).topo_eid = eid;
+    for (ProcessId p : component) entries_[p.value()].topo_eid = eid;
   }
 }
 
@@ -192,23 +222,24 @@ void Network::notify_topology_changed() {
 }
 
 std::uint64_t Network::lamport_tick(ProcessId p) {
-  ensure(entries_.contains(p), "unknown process");
-  return ++entries_.at(p).lamport;
+  ensure(known(p), "unknown process");
+  return ++entries_[p.value()].lamport;
 }
 
 std::uint64_t Network::lamport(ProcessId p) const {
-  const auto it = entries_.find(p);
-  return it == entries_.end() ? 0 : it->second.lamport;
+  return known(p) ? entries_[p.value()].lamport : 0;
 }
 
 std::uint64_t Network::last_topology_eid(ProcessId p) const {
-  const auto it = entries_.find(p);
-  return it == entries_.end() ? 0 : it->second.topo_eid;
+  return known(p) ? entries_[p.value()].topo_eid : 0;
 }
 
 std::uint64_t Network::link_epoch(ProcessId a, ProcessId b) const {
-  auto it = link_epochs_.find(ordered_pair(a, b));
-  return it == link_epochs_.end() ? 0 : it->second;
+  // Loopback has no link to partition: a broadcast's self-send must not
+  // index the pair table (tri_index(p, p) for the largest id lands one
+  // past the end of link_epochs_).
+  if (a == b) return 0;
+  return link_epochs_[tri_index(a, b)];
 }
 
 void Network::add_topology_observer(TopologyObserver observer) {
@@ -242,8 +273,7 @@ void Network::count_drop(const Envelope& env, obs::DropCause cause) {
 }
 
 void Network::send(Envelope env) {
-  ensure(entries_.contains(env.from) && entries_.contains(env.to),
-         "send between unknown processes");
+  ensure(known(env.from) && known(env.to), "send between unknown processes");
   ensure(env.payload != nullptr, "null payload");
   sent_.increment();
   if (env.from == env.to) loopback_.increment();
@@ -285,9 +315,9 @@ void Network::send(Envelope env) {
         latency_.min + rng_.next_below(latency_.max - latency_.min + 1);
     when = queue_.now() + latency;
     // Reliable FIFO channel: per ordered pair, deliveries never reorder.
-    SimTime& last = last_scheduled_delivery_[{env.from, env.to}];
-    when = std::max(when, last);
-    last = when;
+    SimTime& slot = fifo_tails_[directed_index(env.from, env.to)];
+    if (slot != 0) when = std::max(when, slot - 1);
+    slot = when + 1;
   }
   queue_.schedule_at(when, [this, env = std::move(env), epoch]() mutable {
     deliver(std::move(env), epoch);
@@ -303,7 +333,7 @@ void Network::deliver(Envelope env, std::uint64_t epoch_at_send) {
     count_drop(env, obs::DropCause::kLinkEpoch);
     return;
   }
-  ProcessEntry& receiver = entries_.at(env.to);
+  ProcessEntry& receiver = entries_[env.to.value()];
   ensure(static_cast<bool>(receiver.handler), "no delivery handler installed");
   delivered_.increment();
   // Lamport receive rule: the receiver's clock jumps past everything the
@@ -337,9 +367,11 @@ NetworkStats Network::stats() const {
 }
 
 std::optional<SimTime> Network::fifo_tail(ProcessId from, ProcessId to) const {
-  const auto it = last_scheduled_delivery_.find({from, to});
-  if (it == last_scheduled_delivery_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t index = directed_index(from, to);
+  if (index >= fifo_tails_.size() || fifo_tails_[index] == 0) {
+    return std::nullopt;
+  }
+  return fifo_tails_[index] - 1;
 }
 
 }  // namespace dynvote::sim

@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -146,6 +145,7 @@ class Network {
 
  private:
   struct ProcessEntry {
+    bool registered = false;
     bool alive = true;
     std::uint32_t component = 0;
     std::function<void(Envelope)> handler;
@@ -161,12 +161,29 @@ class Network {
     std::uint32_t component = 0;
   };
 
-  using Pair = std::pair<ProcessId, ProcessId>;
+  // Routing state is dense-indexed by raw ProcessId value: entries_[p]
+  // for per-process state, and flat triangular arrays for per-pair state.
+  // The pair index tri(a,b) = max(a,b)·(max(a,b)−1)/2 + min(a,b) depends
+  // only on the pair, never on capacity, so add_process only ever
+  // *appends* slots — existing indices (and in-flight epoch captures)
+  // survive growth untouched.
 
-  [[nodiscard]] std::map<ProcessId, ConnectivityEntry> snapshot_connectivity()
-      const;
+  [[nodiscard]] bool known(ProcessId p) const {
+    return p.value() < entries_.size() && entries_[p.value()].registered;
+  }
+  /// Unordered-pair index into link_epochs_. Precondition: a != b.
+  [[nodiscard]] static std::size_t tri_index(ProcessId a, ProcessId b);
+  /// Directed-pair index into fifo_tails_. Precondition: from != to.
+  [[nodiscard]] static std::size_t directed_index(ProcessId from, ProcessId to);
+
+  [[nodiscard]] std::vector<ConnectivityEntry> snapshot_connectivity() const;
   void bump_epochs_for_disconnections(
-      const std::map<ProcessId, ConnectivityEntry>& before);
+      const std::vector<ConnectivityEntry>& before);
+  /// Drops FIFO tails that can no longer constrain a future send (tail
+  /// time <= now): every new delivery is scheduled at or after now, so
+  /// max(when, tail) == when for such tails. Run on topology changes to
+  /// keep the table from carrying dead bookkeeping across reconfigs.
+  void prune_stale_fifo_tails();
   /// Records one kTopologyChange event per live component, citing
   /// `cause` (e.g. the crash/recover event that triggered the change).
   void record_topology(std::uint64_t cause);
@@ -182,9 +199,11 @@ class Network {
   obs::TraceSink& trace_;
   obs::MetricsRegistry& metrics_;
   ProcessSet processes_;
-  std::map<ProcessId, ProcessEntry> entries_;
-  std::map<Pair, std::uint64_t> link_epochs_;
-  std::map<Pair, SimTime> last_scheduled_delivery_;
+  std::vector<ProcessEntry> entries_;  // indexed by raw ProcessId
+  std::vector<std::uint64_t> link_epochs_;  // indexed by tri_index
+  // FIFO tails, indexed by directed_index. Stored as tail+1 so 0 means
+  // "no outstanding constraint" without a side table.
+  std::vector<SimTime> fifo_tails_;
   std::uint32_t next_component_ = 1;
   DropFilter drop_filter_;
   std::vector<TopologyObserver> observers_;

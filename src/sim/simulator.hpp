@@ -76,8 +76,11 @@ class Simulator {
   // -- execution ---------------------------------------------------------------
 
   /// Runs every pending event (bounded by max_events as a runaway guard).
-  /// Returns number of events executed.
-  std::size_t run_to_quiescence(std::size_t max_events = 10'000'000);
+  /// Returns number of events executed. A tripped event budget logs a
+  /// warning and leaves the queue non-empty — callers that must fail
+  /// loudly check queue().empty() afterwards (Cluster::settle does).
+  std::size_t run_to_quiescence(
+      std::size_t max_events = EventQueue::kDefaultMaxEvents);
 
   /// Runs events with timestamps <= t and advances the clock to t.
   std::size_t run_until(SimTime t);

@@ -9,6 +9,13 @@ void StableStorage::put(const std::string& key,
   entries_[key] = std::move(value);
 }
 
+void StableStorage::put(const std::string& key, const std::uint8_t* data,
+                        std::size_t size) {
+  ++writes_;
+  bytes_written_ += size;
+  entries_[key].assign(data, data + size);
+}
+
 std::optional<std::vector<std::uint8_t>> StableStorage::get(
     const std::string& key) const {
   auto it = entries_.find(key);

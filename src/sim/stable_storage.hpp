@@ -20,6 +20,12 @@ class StableStorage {
   /// Durably stores `value` under `key`, replacing any previous value.
   void put(const std::string& key, std::vector<std::uint8_t> value);
 
+  /// Same, copying from a borrowed buffer. Reuses the capacity of the
+  /// existing entry, so a hot persist path rewriting the same key settles
+  /// into zero allocations per write.
+  void put(const std::string& key, const std::uint8_t* data,
+           std::size_t size);
+
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
       const std::string& key) const;
 

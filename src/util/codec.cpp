@@ -38,6 +38,9 @@ void Encoder::put_string(std::string_view s) {
 void Encoder::put_process_id(ProcessId p) { put_varint(p.value()); }
 
 void Encoder::put_process_set(const ProcessSet& s) {
+  // One byte per id below 128 plus the count prefix; reserving up front
+  // spares the byte-at-a-time growth for the common small-id sets.
+  buffer_.reserve(buffer_.size() + s.size() + 2);
   put_varint(s.size());
   for (ProcessId p : s) put_process_id(p);
 }

@@ -58,6 +58,11 @@ class Encoder {
   }
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
 
+  /// Drops the content but keeps the capacity: a persist-path Encoder can
+  /// be reused across writes without re-growing its buffer every time.
+  void clear() noexcept { buffer_.clear(); }
+  void reserve(std::size_t n) { buffer_.reserve(n); }
+
   [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buffer_); }
 
  private:

@@ -13,22 +13,25 @@ namespace {
 }  // namespace
 
 bool JsonValue::as_bool() const {
-  if (kind_ != Kind::kBool) fail("json: not a bool");
-  return bool_;
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  fail("json: not a bool");
 }
 
 std::int64_t JsonValue::as_int() const {
-  switch (kind_) {
+  switch (kind()) {
     case Kind::kInt:
-      return int_;
-    case Kind::kUint:
-      if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
+      return std::get<std::int64_t>(value_);
+    case Kind::kUint: {
+      const std::uint64_t u = std::get<std::uint64_t>(value_);
+      if (u > static_cast<std::uint64_t>(INT64_MAX)) {
         fail("json: uint out of int64 range");
       }
-      return static_cast<std::int64_t>(uint_);
+      return static_cast<std::int64_t>(u);
+    }
     case Kind::kDouble: {
-      const auto i = static_cast<std::int64_t>(double_);
-      if (static_cast<double>(i) != double_) fail("json: non-integral double");
+      const double d = std::get<double>(value_);
+      const auto i = static_cast<std::int64_t>(d);
+      if (static_cast<double>(i) != d) fail("json: non-integral double");
       return i;
     }
     default:
@@ -37,16 +40,19 @@ std::int64_t JsonValue::as_int() const {
 }
 
 std::uint64_t JsonValue::as_uint() const {
-  switch (kind_) {
+  switch (kind()) {
     case Kind::kUint:
-      return uint_;
-    case Kind::kInt:
-      if (int_ < 0) fail("json: negative int as uint");
-      return static_cast<std::uint64_t>(int_);
+      return std::get<std::uint64_t>(value_);
+    case Kind::kInt: {
+      const std::int64_t i = std::get<std::int64_t>(value_);
+      if (i < 0) fail("json: negative int as uint");
+      return static_cast<std::uint64_t>(i);
+    }
     case Kind::kDouble: {
-      if (double_ < 0) fail("json: negative double as uint");
-      const auto u = static_cast<std::uint64_t>(double_);
-      if (static_cast<double>(u) != double_) fail("json: non-integral double");
+      const double d = std::get<double>(value_);
+      if (d < 0) fail("json: negative double as uint");
+      const auto u = static_cast<std::uint64_t>(d);
+      if (static_cast<double>(u) != d) fail("json: non-integral double");
       return u;
     }
     default:
@@ -55,46 +61,61 @@ std::uint64_t JsonValue::as_uint() const {
 }
 
 double JsonValue::as_double() const {
-  switch (kind_) {
+  switch (kind()) {
     case Kind::kDouble:
-      return double_;
+      return std::get<double>(value_);
     case Kind::kInt:
-      return static_cast<double>(int_);
+      return static_cast<double>(std::get<std::int64_t>(value_));
     case Kind::kUint:
-      return static_cast<double>(uint_);
+      return static_cast<double>(std::get<std::uint64_t>(value_));
     default:
       fail("json: not a number");
   }
 }
 
 const std::string& JsonValue::as_string() const {
-  if (kind_ != Kind::kString) fail("json: not a string");
-  return string_;
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  fail("json: not a string");
 }
 
 const JsonValue::Array& JsonValue::as_array() const {
-  if (kind_ != Kind::kArray) fail("json: not an array");
-  return array_;
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  fail("json: not an array");
 }
 
 const JsonValue::Object& JsonValue::as_object() const {
-  if (kind_ != Kind::kObject) fail("json: not an object");
-  return object_;
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  fail("json: not an object");
 }
 
 void JsonValue::push_back(JsonValue v) {
-  if (kind_ != Kind::kArray) fail("json: push_back on non-array");
-  array_.push_back(std::move(v));
+  Array* a = std::get_if<Array>(&value_);
+  if (a == nullptr) fail("json: push_back on non-array");
+  a->push_back(std::move(v));
 }
 
 void JsonValue::set(std::string key, JsonValue v) {
-  if (kind_ != Kind::kObject) fail("json: set on non-object");
-  object_.emplace_back(std::move(key), std::move(v));
+  Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) fail("json: set on non-object");
+  o->emplace_back(std::move(key), std::move(v));
+}
+
+void JsonValue::reserve(std::size_t n) {
+  if (Array* a = std::get_if<Array>(&value_)) {
+    a->reserve(n);
+    return;
+  }
+  if (Object* o = std::get_if<Object>(&value_)) {
+    o->reserve(n);
+    return;
+  }
+  fail("json: reserve on non-container");
 }
 
 const JsonValue* JsonValue::find(std::string_view key) const {
-  if (kind_ != Kind::kObject) return nullptr;
-  for (const auto& [k, v] : object_) {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) return nullptr;
+  for (const auto& [k, v] : *o) {
     if (k == key) return &v;
   }
   return nullptr;
@@ -106,9 +127,25 @@ const JsonValue& JsonValue::at(std::string_view key) const {
   return *v;
 }
 
+namespace {
+
+[[nodiscard]] constexpr bool needs_escape(char c) {
+  return c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+}
+
+}  // namespace
+
 void json_escape(std::string& out, std::string_view s) {
   out.push_back('"');
-  for (const char c : s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    // Bulk-copy the (overwhelmingly common) run of plain characters.
+    std::size_t run = i;
+    while (run < s.size() && !needs_escape(s[run])) ++run;
+    out.append(s.data() + i, run - i);
+    i = run;
+    if (i >= s.size()) break;
+    const char c = s[i++];
     switch (c) {
       case '"':
         out += "\\\"";
@@ -125,14 +162,11 @@ void json_escape(std::string& out, std::string_view s) {
       case '\t':
         out += "\\t";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      }
     }
   }
   out.push_back('"');
@@ -144,54 +178,66 @@ void JsonValue::write(std::string& out, int indent, int depth) const {
     out.push_back('\n');
     out.append(static_cast<std::size_t>(indent * d), ' ');
   };
-  switch (kind_) {
+  switch (kind()) {
     case Kind::kNull:
       out += "null";
       break;
     case Kind::kBool:
-      out += bool_ ? "true" : "false";
+      out += std::get<bool>(value_) ? "true" : "false";
       break;
-    case Kind::kInt:
-      out += std::to_string(int_);
+    case Kind::kInt: {
+      char buf[24];
+      const auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), std::get<std::int64_t>(value_));
+      if (ec != std::errc{}) fail("json: int format");
+      out.append(buf, end);
       break;
-    case Kind::kUint:
-      out += std::to_string(uint_);
+    }
+    case Kind::kUint: {
+      char buf[24];
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                           std::get<std::uint64_t>(value_));
+      if (ec != std::errc{}) fail("json: uint format");
+      out.append(buf, end);
       break;
+    }
     case Kind::kDouble: {
-      if (!std::isfinite(double_)) fail("json: non-finite double");
+      const double d = std::get<double>(value_);
+      if (!std::isfinite(d)) fail("json: non-finite double");
       // Shortest round-trip representation; deterministic across runs.
       char buf[32];
-      const auto [end, ec] =
-          std::to_chars(buf, buf + sizeof(buf), double_);
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
       if (ec != std::errc{}) fail("json: double format");
       out.append(buf, end);
       break;
     }
     case Kind::kString:
-      json_escape(out, string_);
+      json_escape(out, std::get<std::string>(value_));
       break;
     case Kind::kArray: {
+      const Array& array = std::get<Array>(value_);
       out.push_back('[');
-      for (std::size_t i = 0; i < array_.size(); ++i) {
+      for (std::size_t i = 0; i < array.size(); ++i) {
         if (i != 0) out.push_back(',');
         newline(depth + 1);
-        array_[i].write(out, indent, depth + 1);
+        array[i].write(out, indent, depth + 1);
       }
-      if (!array_.empty()) newline(depth);
+      if (!array.empty()) newline(depth);
       out.push_back(']');
       break;
     }
     case Kind::kObject: {
+      const Object& object = std::get<Object>(value_);
       out.push_back('{');
-      for (std::size_t i = 0; i < object_.size(); ++i) {
+      for (std::size_t i = 0; i < object.size(); ++i) {
         if (i != 0) out.push_back(',');
         newline(depth + 1);
-        json_escape(out, object_[i].first);
+        json_escape(out, object[i].first);
         out.push_back(':');
         if (indent > 0) out.push_back(' ');
-        object_[i].second.write(out, indent, depth + 1);
+        object[i].second.write(out, indent, depth + 1);
       }
-      if (!object_.empty()) newline(depth);
+      if (!object.empty()) newline(depth);
       out.push_back('}');
       break;
     }
@@ -282,6 +328,9 @@ class Parser {
       ++pos_;
       return obj;
     }
+    // A trace document is thousands of small event objects; starting at
+    // a realistic field count skips the 1->2->4->8 doubling growth.
+    obj.reserve(8);
     while (true) {
       skip_ws();
       std::string key = parse_string();
@@ -306,6 +355,7 @@ class Parser {
       ++pos_;
       return arr;
     }
+    arr.reserve(4);  // most arrays here are short process-id lists
     while (true) {
       arr.push_back(parse_value());
       skip_ws();
@@ -322,13 +372,17 @@ class Parser {
     expect('"');
     std::string out;
     while (true) {
+      // Bulk-copy up to the next quote or escape; most strings contain
+      // neither an escape nor a control character.
+      std::size_t run = pos_;
+      while (run < text_.size() && text_[run] != '"' && text_[run] != '\\') {
+        ++run;
+      }
+      out.append(text_.data() + pos_, run - pos_);
+      pos_ = run;
       if (pos_ >= text_.size()) fail("json: unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
       if (pos_ >= text_.size()) fail("json: unterminated escape");
       const char esc = text_[pos_++];
       switch (esc) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <variant>
 #include <vector>
 
 namespace dynvote {
@@ -43,26 +44,28 @@ class JsonValue {
   using Array = std::vector<JsonValue>;
   using Object = std::vector<std::pair<std::string, JsonValue>>;
 
-  JsonValue() : kind_(Kind::kNull) {}
-  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}
-  JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}
-  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
-  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
-  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
-  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
-  JsonValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
-  JsonValue(std::string_view v) : kind_(Kind::kString), string_(v) {}
-  JsonValue(const char* v) : kind_(Kind::kString), string_(v) {}
-  JsonValue(Array v) : kind_(Kind::kArray), array_(std::move(v)) {}
-  JsonValue(Object v) : kind_(Kind::kObject), object_(std::move(v)) {}
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool v) : value_(v) {}
+  JsonValue(std::int64_t v) : value_(v) {}
+  JsonValue(int v) : value_(std::int64_t{v}) {}
+  JsonValue(std::uint64_t v) : value_(v) {}
+  JsonValue(double v) : value_(v) {}
+  JsonValue(std::string v) : value_(std::move(v)) {}
+  JsonValue(std::string_view v) : value_(std::string(v)) {}
+  JsonValue(const char* v) : value_(std::string(v)) {}
+  JsonValue(Array v) : value_(std::move(v)) {}
+  JsonValue(Object v) : value_(std::move(v)) {}
 
   static JsonValue array() { return JsonValue(Array{}); }
   static JsonValue object() { return JsonValue(Object{}); }
 
-  [[nodiscard]] Kind kind() const noexcept { return kind_; }
-  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
-  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
-  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] Kind kind() const noexcept {
+    return static_cast<Kind>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind() == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind() == Kind::kArray; }
 
   // Checked accessors — throw JsonError on kind mismatch (numbers convert
   // between signed/unsigned/double when the value fits).
@@ -78,6 +81,10 @@ class JsonValue {
   void push_back(JsonValue v);
   /// Appends a key to an object value (no de-duplication).
   void set(std::string key, JsonValue v);
+  /// Reserves capacity in an array or object value. Builders with a known
+  /// field count (the trace exporter emits thousands of small objects)
+  /// use this to skip the doubling reallocations.
+  void reserve(std::size_t n);
 
   /// First value under `key`, or nullptr if absent / not an object.
   [[nodiscard]] const JsonValue* find(std::string_view key) const;
@@ -96,14 +103,13 @@ class JsonValue {
  private:
   void write(std::string& out, int indent, int depth) const;
 
-  Kind kind_;
-  bool bool_ = false;
-  std::int64_t int_ = 0;
-  std::uint64_t uint_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  Array array_;
-  Object object_;
+  // One compact alternative per Kind, in Kind order (kind() reads the
+  // variant index). A scalar node costs 48 bytes instead of carrying an
+  // always-constructed string and two vectors — the JSON layer's cost is
+  // dominated by tree construction/destruction in the trace pipeline.
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
 };
 
 /// Escapes `s` into a quoted JSON string literal appended to `out`.

@@ -1,6 +1,7 @@
 #include "util/process_set.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/ensure.hpp"
 
@@ -15,19 +16,56 @@ void normalize(std::vector<ProcessId>& ids) {
 
 }  // namespace
 
+void ProcessSet::rebuild_bits() {
+  bits_.fill(0);
+  // members_ is sorted, so one comparison against the back decides the
+  // representation.
+  small_ = members_.empty() || members_.back().value() < kSmallIdLimit;
+  if (!small_) return;
+  for (const ProcessId p : members_) {
+    bits_[p.value() >> 6] |= std::uint64_t{1} << (p.value() & 63);
+  }
+}
+
+ProcessSet ProcessSet::from_sorted(std::vector<ProcessId> ids) {
+  ProcessSet out;
+  out.members_ = std::move(ids);
+  out.rebuild_bits();
+  return out;
+}
+
+void ProcessSet::expand_bits(const std::array<std::uint64_t, kWords>& bits,
+                             ProcessSet& out) {
+  std::size_t count = 0;
+  for (const std::uint64_t w : bits) count += std::popcount(w);
+  out.members_.reserve(count);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      out.members_.emplace_back(static_cast<std::uint32_t>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  out.bits_ = bits;
+  out.small_ = true;
+}
+
 ProcessSet::ProcessSet(std::initializer_list<ProcessId> ids) : members_(ids) {
   normalize(members_);
+  rebuild_bits();
 }
 
 ProcessSet::ProcessSet(std::vector<ProcessId> ids) : members_(std::move(ids)) {
   normalize(members_);
+  rebuild_bits();
 }
 
 ProcessSet ProcessSet::range(std::uint32_t n) {
   std::vector<ProcessId> ids;
   ids.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) ids.emplace_back(i);
-  return ProcessSet(std::move(ids));
+  return from_sorted(std::move(ids));
 }
 
 ProcessSet ProcessSet::of(std::initializer_list<std::uint32_t> raw) {
@@ -37,7 +75,7 @@ ProcessSet ProcessSet::of(std::initializer_list<std::uint32_t> raw) {
   return ProcessSet(std::move(ids));
 }
 
-bool ProcessSet::contains(ProcessId p) const {
+bool ProcessSet::contains_slow(ProcessId p) const {
   return std::binary_search(members_.begin(), members_.end(), p);
 }
 
@@ -45,6 +83,12 @@ bool ProcessSet::insert(ProcessId p) {
   auto it = std::lower_bound(members_.begin(), members_.end(), p);
   if (it != members_.end() && *it == p) return false;
   members_.insert(it, p);
+  if (p.value() >= kSmallIdLimit) {
+    if (small_) bits_.fill(0);
+    small_ = false;
+  } else if (small_) {
+    bits_[p.value() >> 6] |= std::uint64_t{1} << (p.value() & 63);
+  }
   return true;
 }
 
@@ -52,38 +96,61 @@ bool ProcessSet::erase(ProcessId p) {
   auto it = std::lower_bound(members_.begin(), members_.end(), p);
   if (it == members_.end() || *it != p) return false;
   members_.erase(it);
+  if (small_) {
+    bits_[p.value() >> 6] &= ~(std::uint64_t{1} << (p.value() & 63));
+  } else if (members_.empty() || members_.back().value() < kSmallIdLimit) {
+    // Removing the last big id drops the set back onto the fast path.
+    rebuild_bits();
+  }
   return true;
 }
 
 ProcessSet ProcessSet::set_union(const ProcessSet& other) const {
+  if (small_ && other.small_) {
+    std::array<std::uint64_t, kWords> bits;
+    for (std::size_t w = 0; w < kWords; ++w) bits[w] = bits_[w] | other.bits_[w];
+    ProcessSet result;
+    expand_bits(bits, result);
+    return result;
+  }
   std::vector<ProcessId> out;
   out.reserve(members_.size() + other.members_.size());
   std::set_union(members_.begin(), members_.end(), other.members_.begin(),
                  other.members_.end(), std::back_inserter(out));
-  ProcessSet result;
-  result.members_ = std::move(out);
-  return result;
+  return from_sorted(std::move(out));
 }
 
 ProcessSet ProcessSet::set_intersection(const ProcessSet& other) const {
+  if (small_ && other.small_) {
+    std::array<std::uint64_t, kWords> bits;
+    for (std::size_t w = 0; w < kWords; ++w) bits[w] = bits_[w] & other.bits_[w];
+    ProcessSet result;
+    expand_bits(bits, result);
+    return result;
+  }
   std::vector<ProcessId> out;
+  out.reserve(std::min(members_.size(), other.members_.size()));
   std::set_intersection(members_.begin(), members_.end(), other.members_.begin(),
                         other.members_.end(), std::back_inserter(out));
-  ProcessSet result;
-  result.members_ = std::move(out);
-  return result;
+  return from_sorted(std::move(out));
 }
 
 ProcessSet ProcessSet::set_difference(const ProcessSet& other) const {
+  if (small_ && other.small_) {
+    std::array<std::uint64_t, kWords> bits;
+    for (std::size_t w = 0; w < kWords; ++w) bits[w] = bits_[w] & ~other.bits_[w];
+    ProcessSet result;
+    expand_bits(bits, result);
+    return result;
+  }
   std::vector<ProcessId> out;
+  out.reserve(members_.size());
   std::set_difference(members_.begin(), members_.end(), other.members_.begin(),
                       other.members_.end(), std::back_inserter(out));
-  ProcessSet result;
-  result.members_ = std::move(out);
-  return result;
+  return from_sorted(std::move(out));
 }
 
-std::size_t ProcessSet::intersection_size(const ProcessSet& other) const {
+std::size_t ProcessSet::intersection_size_slow(const ProcessSet& other) const {
   std::size_t count = 0;
   auto a = members_.begin();
   auto b = other.members_.begin();
@@ -101,7 +168,7 @@ std::size_t ProcessSet::intersection_size(const ProcessSet& other) const {
   return count;
 }
 
-bool ProcessSet::intersects(const ProcessSet& other) const {
+bool ProcessSet::intersects_slow(const ProcessSet& other) const {
   auto a = members_.begin();
   auto b = other.members_.begin();
   while (a != members_.end() && b != other.members_.end()) {
@@ -116,17 +183,10 @@ bool ProcessSet::intersects(const ProcessSet& other) const {
   return false;
 }
 
-bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+bool ProcessSet::is_subset_of_slow(const ProcessSet& other) const {
+  if (!small_ && other.small_) return false;  // we hold an id other cannot
   return std::includes(other.members_.begin(), other.members_.end(),
                        members_.begin(), members_.end());
-}
-
-bool ProcessSet::contains_majority_of(const ProcessSet& of) const {
-  return 2 * intersection_size(of) > of.size();
-}
-
-bool ProcessSet::contains_exact_half_of(const ProcessSet& of) const {
-  return 2 * intersection_size(of) == of.size();
 }
 
 std::optional<ProcessId> ProcessSet::max_member() const {

@@ -2,12 +2,21 @@
 // the quorum calculus needs (intersection sizes, majorities, maxima under
 // the linear order).
 //
-// Memberships in this protocol are small (tens of processes), so a sorted
-// flat vector beats node-based containers and gives deterministic
-// iteration order for free.
+// Representation is hybrid. The sorted flat vector is always maintained —
+// it gives deterministic iteration, lexicographic ordering, and the
+// index_of positions the optimized protocol's knowledge arrays key on.
+// When every member id is below kSmallIdLimit (true for every scenario
+// the harness generates today), a 256-bit inline bitset shadows the
+// vector, and the set predicates the Sub_Quorum hot path hammers —
+// contains / intersection_size / is_subset_of / majority tests — run as
+// a handful of AND+popcount word ops instead of O(n) merge walks. Sets
+// with larger ids transparently fall back to the vector algorithms.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <optional>
 #include <string>
@@ -25,6 +34,10 @@ class ProcessSet {
  public:
   using const_iterator = std::vector<ProcessId>::const_iterator;
 
+  /// Ids below this bound are tracked in the inline bitset (one 64-bit
+  /// word per 64 ids).
+  static constexpr std::uint32_t kSmallIdLimit = 256;
+
   ProcessSet() = default;
 
   /// Builds a set from any list of ids; duplicates are collapsed.
@@ -37,7 +50,13 @@ class ProcessSet {
   /// Convenience for tests/examples: build from raw integer ids.
   [[nodiscard]] static ProcessSet of(std::initializer_list<std::uint32_t> raw);
 
-  [[nodiscard]] bool contains(ProcessId p) const;
+  [[nodiscard]] bool contains(ProcessId p) const {
+    if (small_) {
+      if (p.value() >= kSmallIdLimit) return false;
+      return (bits_[p.value() >> 6] >> (p.value() & 63)) & 1;
+    }
+    return contains_slow(p);
+  }
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
   [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
 
@@ -50,15 +69,50 @@ class ProcessSet {
   [[nodiscard]] ProcessSet set_intersection(const ProcessSet& other) const;
   [[nodiscard]] ProcessSet set_difference(const ProcessSet& other) const;
 
-  [[nodiscard]] std::size_t intersection_size(const ProcessSet& other) const;
-  [[nodiscard]] bool intersects(const ProcessSet& other) const;
-  [[nodiscard]] bool is_subset_of(const ProcessSet& other) const;
+  // The Sub_Quorum hot-path predicates are defined inline so the bitset
+  // fast path compiles down to a few word ops at the call site.
+
+  [[nodiscard]] std::size_t intersection_size(const ProcessSet& other) const {
+    if (small_ && other.small_) {
+      std::size_t count = 0;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        count += static_cast<std::size_t>(
+            std::popcount(bits_[w] & other.bits_[w]));
+      }
+      return count;
+    }
+    return intersection_size_slow(other);
+  }
+
+  [[nodiscard]] bool intersects(const ProcessSet& other) const {
+    if (small_ && other.small_) {
+      std::uint64_t any = 0;
+      for (std::size_t w = 0; w < kWords; ++w) any |= bits_[w] & other.bits_[w];
+      return any != 0;
+    }
+    return intersects_slow(other);
+  }
+
+  [[nodiscard]] bool is_subset_of(const ProcessSet& other) const {
+    if (small_ && other.small_) {
+      std::uint64_t stray = 0;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        stray |= bits_[w] & ~other.bits_[w];
+      }
+      return stray == 0;
+    }
+    return is_subset_of_slow(other);
+  }
 
   /// True iff this set contains a strict majority of `of`.
-  [[nodiscard]] bool contains_majority_of(const ProcessSet& of) const;
+  [[nodiscard]] bool contains_majority_of(const ProcessSet& of) const {
+    return 2 * intersection_size(of) > of.size();
+  }
 
   /// True iff this set contains exactly half of `of` (|of| even).
-  [[nodiscard]] bool contains_exact_half_of(const ProcessSet& of) const;
+  [[nodiscard]] bool contains_exact_half_of(const ProcessSet& of) const {
+    return 2 * intersection_size(of) == of.size();
+  }
 
   /// The highest-ranked member under the natural linear order, if any.
   /// Paper 4.1 uses the maximum of the *previous quorum* to break ties.
@@ -76,7 +130,9 @@ class ProcessSet {
   [[nodiscard]] const_iterator begin() const noexcept { return members_.begin(); }
   [[nodiscard]] const_iterator end() const noexcept { return members_.end(); }
 
-  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+  friend bool operator==(const ProcessSet& a, const ProcessSet& b) {
+    return a.members_ == b.members_;
+  }
 
   /// Deterministic total order (lexicographic on the sorted members), so
   /// ProcessSets can key ordered containers.
@@ -87,8 +143,32 @@ class ProcessSet {
   /// Renders as "{p0,p1,p4}".
   [[nodiscard]] std::string to_string() const;
 
+  /// True iff the inline-bitset fast path covers this set (every member
+  /// id < kSmallIdLimit). Exposed for the property tests that pin the
+  /// bitset and vector paths to each other.
+  [[nodiscard]] bool uses_bitset() const noexcept { return small_; }
+
  private:
+  static constexpr std::size_t kWords = kSmallIdLimit / 64;
+
+  /// Recomputes small_ and bits_ from members_ (after bulk mutation).
+  void rebuild_bits();
+  // Sorted-vector fallbacks for sets with ids >= kSmallIdLimit.
+  [[nodiscard]] bool contains_slow(ProcessId p) const;
+  [[nodiscard]] std::size_t intersection_size_slow(const ProcessSet& other) const;
+  [[nodiscard]] bool intersects_slow(const ProcessSet& other) const;
+  [[nodiscard]] bool is_subset_of_slow(const ProcessSet& other) const;
+  /// Builds a set from an already sorted, duplicate-free vector.
+  [[nodiscard]] static ProcessSet from_sorted(std::vector<ProcessId> ids);
+  /// Appends the members encoded in `bits` (sorted ascending) to a set.
+  static void expand_bits(const std::array<std::uint64_t, kWords>& bits,
+                          ProcessSet& out);
+
   std::vector<ProcessId> members_;
+  // Shadow bitset of members_, valid iff small_. All-zero when !small_ so
+  // value semantics (copies, moves) never expose stale words.
+  std::array<std::uint64_t, kWords> bits_{};
+  bool small_ = true;
 };
 
 [[nodiscard]] inline std::string to_string(const ProcessSet& s) {

@@ -80,6 +80,16 @@ TEST_F(NetworkTest, LoopbackDeliversToSelf) {
   EXPECT_EQ(node(2).received[0].first, ProcessId(2));
 }
 
+TEST_F(NetworkTest, LoopbackFromTheHighestIdDeliversToSelf) {
+  // Regression: a self-send must not consult the pair tables at all —
+  // tri_index(p, p) for the largest registered id computes an index one
+  // past the end of link_epochs_ (caught by ASan at exactly-sized n).
+  node(3).send(ProcessId(3), std::make_shared<TestPayload>("self"));
+  sim_.run_to_quiescence();
+  ASSERT_EQ(node(3).received.size(), 1u);
+  EXPECT_EQ(node(3).received[0].first, ProcessId(3));
+}
+
 TEST_F(NetworkTest, BroadcastReachesAllViewMembersIncludingSelf) {
   node(0).broadcast(std::make_shared<TestPayload>("all"));
   sim_.run_to_quiescence();

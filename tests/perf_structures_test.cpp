@@ -1,0 +1,277 @@
+// Tests for the perf-critical data structures and the parallel sweep:
+//
+//   - ProcessSet's inline-bitset fast paths pinned to a std::set model
+//     on randomized inputs straddling the 256-id boundary, so the bitset
+//     and sorted-vector representations can never diverge silently;
+//   - EventQueue tombstone cancellation and the drained-vs-event-limit
+//     distinction of drain();
+//   - the sweep runner's determinism contract: index-ordered results,
+//     identical output at any thread count (including the full E1
+//     trace.json byte-for-byte through a 4-thread pool), and exception
+//     propagation;
+//   - trace_json_string as a byte-identical fast path for
+//     trace_to_json(...).dump().
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "harness/trace_replay.hpp"
+#include "sim/event_queue.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ProcessSet: bitset fast paths vs a std::set<uint32_t> model.
+
+using Model = std::set<std::uint32_t>;
+
+ProcessSet from_model(const Model& m) {
+  ProcessSet s;
+  for (const std::uint32_t id : m) s.insert(ProcessId(id));
+  return s;
+}
+
+/// Random model set. `max_id` above ProcessSet::kSmallIdLimit produces
+/// sets that straddle the boundary, forcing the sorted-vector fallback.
+Model random_model(Rng& rng, std::uint32_t max_id) {
+  Model m;
+  const std::uint64_t count = rng.next_below(12);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.insert(static_cast<std::uint32_t>(rng.next_below(max_id)));
+  }
+  return m;
+}
+
+Model model_union(const Model& a, const Model& b) {
+  Model out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+Model model_intersection(const Model& a, const Model& b) {
+  Model out;
+  for (const std::uint32_t id : a) {
+    if (b.count(id) != 0) out.insert(id);
+  }
+  return out;
+}
+
+Model model_difference(const Model& a, const Model& b) {
+  Model out;
+  for (const std::uint32_t id : a) {
+    if (b.count(id) == 0) out.insert(id);
+  }
+  return out;
+}
+
+void expect_matches_model(const ProcessSet& s, const Model& m) {
+  ASSERT_EQ(s.size(), m.size());
+  auto it = m.begin();
+  for (const ProcessId p : s) {
+    EXPECT_EQ(p.value(), *it) << "iteration order diverged from the model";
+    ++it;
+  }
+  const bool all_small = std::all_of(m.begin(), m.end(), [](std::uint32_t id) {
+    return id < ProcessSet::kSmallIdLimit;
+  });
+  EXPECT_EQ(s.uses_bitset(), all_small);
+  if (m.empty()) {
+    EXPECT_FALSE(s.max_member().has_value());
+  } else {
+    ASSERT_TRUE(s.max_member().has_value());
+    EXPECT_EQ(s.max_member()->value(), *m.rbegin());
+  }
+}
+
+TEST(ProcessSetProperty, PredicatesAgreeWithModelAcrossTheBitsetBoundary) {
+  Rng rng(20260805);
+  // max_id 40: pure-bitset pairs. max_id 320: pairs where one or both
+  // sets spill past kSmallIdLimit and take the sorted-vector fallback.
+  for (const std::uint32_t max_id : {40u, 320u}) {
+    for (int round = 0; round < 500; ++round) {
+      const Model ma = random_model(rng, max_id);
+      const Model mb = random_model(rng, max_id);
+      const ProcessSet a = from_model(ma);
+      const ProcessSet b = from_model(mb);
+      expect_matches_model(a, ma);
+      expect_matches_model(b, mb);
+
+      EXPECT_EQ(a.intersection_size(b), model_intersection(ma, mb).size());
+      EXPECT_EQ(a.intersects(b), !model_intersection(ma, mb).empty());
+      EXPECT_EQ(a.is_subset_of(b),
+                std::includes(mb.begin(), mb.end(), ma.begin(), ma.end()));
+      EXPECT_EQ(a.contains_majority_of(b),
+                2 * model_intersection(ma, mb).size() > mb.size());
+      EXPECT_EQ(a.contains_exact_half_of(b),
+                2 * model_intersection(ma, mb).size() == mb.size());
+      for (const std::uint32_t probe : {std::uint32_t{0}, max_id / 2, max_id}) {
+        EXPECT_EQ(a.contains(ProcessId(probe)), ma.count(probe) != 0);
+      }
+
+      expect_matches_model(a.set_union(b), model_union(ma, mb));
+      expect_matches_model(a.set_intersection(b), model_intersection(ma, mb));
+      expect_matches_model(a.set_difference(b), model_difference(ma, mb));
+    }
+  }
+}
+
+TEST(ProcessSetProperty, InsertEraseMaintainTheBitsetIncrementally) {
+  Rng rng(77);
+  Model m;
+  ProcessSet s;
+  for (int step = 0; step < 2000; ++step) {
+    // Cross kSmallIdLimit in both directions: an insert of a large id
+    // must drop the set to the vector representation, and erasing the
+    // last large id must restore the bitset.
+    const auto id = static_cast<std::uint32_t>(rng.next_below(300));
+    if (rng.next_bool(0.6)) {
+      EXPECT_EQ(s.insert(ProcessId(id)), m.insert(id).second);
+    } else {
+      EXPECT_EQ(s.erase(ProcessId(id)), m.erase(id) != 0);
+    }
+    expect_matches_model(s, m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: tombstones and the drain() status.
+
+TEST(EventQueuePerf, CancelledEventsNeverRun) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  const sim::EventToken a = q.schedule_at(10, [&] { order.push_back(1); });
+  const sim::EventToken b = q.schedule_at(20, [&] { order.push_back(2); });
+  q.schedule_at(30, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(b)) << "second cancel of the same token";
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_FALSE(q.cancel(a)) << "cancel after the event ran";
+}
+
+TEST(EventQueuePerf, DrainDistinguishesEventLimitFromDrained) {
+  sim::EventQueue q;
+  // A self-rescheduling event: each run schedules the next, so the queue
+  // never drains on its own.
+  std::function<void()> reschedule = [&] { q.schedule_after(1, [&] { reschedule(); }); };
+  q.schedule_at(0, [&] { reschedule(); });
+
+  const auto limited = q.drain(/*max_events=*/100);
+  EXPECT_EQ(limited.executed, 100u);
+  EXPECT_EQ(limited.status, sim::EventQueue::DrainStatus::kEventLimit);
+  EXPECT_FALSE(q.empty()) << "the runaway schedule still has work pending";
+
+  // Stop the cascade, then the queue must report a genuine drain.
+  reschedule = [] {};
+  const auto drained = q.drain();
+  EXPECT_EQ(drained.status, sim::EventQueue::DrainStatus::kDrained);
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep runner.
+
+TEST(Sweep, ResultsLandInIndexOrderAtAnyThreadCount) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const auto serial = sweep_map<std::size_t>(64, 1, square);
+  const auto pooled = sweep_map<std::size_t>(64, 4, square);
+  ASSERT_EQ(serial.size(), 64u);
+  EXPECT_EQ(serial, pooled);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], i * i);
+}
+
+TEST(Sweep, WorkerExceptionsPropagateToTheCaller) {
+  EXPECT_THROW(
+      sweep_run(16, 4,
+                [](std::size_t i) {
+                  if (i == 7) throw std::runtime_error("cell 7 failed");
+                }),
+      std::runtime_error);
+}
+
+TEST(Sweep, ZeroJobsIsANoOp) {
+  sweep_run(0, 4, [](std::size_t) { FAIL() << "no job should run"; });
+}
+
+// ---------------------------------------------------------------------------
+// E1 through the sweep pool: byte-identical traces.
+
+std::string run_e1_trace(ProtocolKind kind) {
+  ClusterOptions options;
+  options.kind = kind;
+  options.n = 5;
+  options.sim.seed = 2026;
+  options.trace_messages = true;
+  Cluster cluster(options);
+  FaultInjector faults(cluster.sim().network());
+  faults.drop_to(ProcessId(2),
+                 kind == ProtocolKind::kNaiveDynamic ? "dv.info" : "dv.attempt",
+                 2);
+  cluster.partition({ProcessSet::of({0, 1, 2}), ProcessSet::of({3, 4})});
+  cluster.settle();
+  faults.clear();
+  cluster.partition({ProcessSet::of({0, 1}), ProcessSet::of({2, 3, 4})});
+  cluster.settle();
+  return trace_json_string(cluster.trace_meta(), cluster.sim().trace());
+}
+
+TEST(SweepDeterminism, E1TraceJsonIsByteIdenticalThroughTheParallelSweep) {
+  const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kNaiveDynamic, ProtocolKind::kBasic,
+      ProtocolKind::kOptimized, ProtocolKind::kBasic,
+      ProtocolKind::kOptimized, ProtocolKind::kNaiveDynamic,
+  };
+  const auto job = [&](std::size_t i) { return run_e1_trace(kinds[i]); };
+  const auto serial = sweep_map<std::string>(kinds.size(), 1, job);
+  const auto pooled = sweep_map<std::string>(kinds.size(), 4, job);
+  const auto pooled_again = sweep_map<std::string>(kinds.size(), 4, job);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(pooled, pooled_again);
+  // Same protocol, same seed => same trace, even from different workers.
+  EXPECT_EQ(serial[1], serial[3]);
+  EXPECT_EQ(serial[2], serial[4]);
+  EXPECT_FALSE(serial[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// trace_json_string: the no-tree export path.
+
+TEST(TraceExport, DirectStringMatchesTreeDumpByteForByte) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kBasic, ProtocolKind::kOptimized,
+        ProtocolKind::kCentralized, ProtocolKind::kThreePhaseRecovery}) {
+    ClusterOptions options;
+    options.kind = kind;
+    options.n = 6;
+    options.sim.seed = 31;
+    options.trace_messages = true;
+    Cluster cluster(options);
+    cluster.partition({ProcessSet::of({0, 1, 2, 3}), ProcessSet::of({4, 5})});
+    cluster.settle();
+    cluster.partition({ProcessSet::of({0, 5}), ProcessSet::of({1, 2, 3, 4})});
+    cluster.settle();
+    const std::string direct =
+        trace_json_string(cluster.trace_meta(), cluster.sim().trace());
+    const std::string via_tree =
+        trace_to_json(cluster.trace_meta(), cluster.sim().trace()).dump();
+    EXPECT_EQ(direct, via_tree);
+    // And the loader accepts it: export -> load -> export round-trips.
+    const TraceMetaAndEvents loaded = load_trace_json(direct);
+    EXPECT_EQ(loaded.events.size(),
+              cluster.sim().trace().events().size());
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Compare results/BENCH_*.json against committed baselines.
+
+Usage:
+  tools/check_perf.py [--results DIR] [--baselines DIR]
+                      [--tolerance FRACTION] [--update]
+
+Every bench emits a machine-readable results/BENCH_<name>.json (see
+harness/bench_report.hpp). This script walks each baseline document and
+the freshly generated one in lockstep:
+
+  * numeric leaves whose key looks like a timing/throughput metric
+    ("wall", "ms", "time", "per_sec", "speedup", "ns", "cpu", "rate")
+    are allowed to drift: a run only fails when it is more than
+    --tolerance slower than baseline (improvements always pass and are
+    reported);
+  * every other leaf — counts, availability fractions, violation tallies,
+    protocol names, determinism flags — must match exactly: benches are
+    seeded and deterministic, so any drift there is a behavior change,
+    not noise, and the right fix is to regenerate baselines consciously
+    (--update) in the commit that changed behavior;
+  * machine-dependent context (google-benchmark's "context" block,
+    pool_threads, dates) is skipped.
+
+The default tolerance is deliberately wide (75%): wall-clock on shared
+runners is noisy, and the checker's job is to catch the step-function
+regressions a data-structure or algorithm change causes, not 10% jitter.
+Tighten with --tolerance 0.25 on a quiet dedicated box.
+
+Exit status: 0 = all within band, 1 = regression or mismatch, 2 = usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+# Keys whose numeric values measure time or throughput on the host
+# machine: tolerance-banded rather than exact.
+TIMING_MARKERS = ("wall", "_ms", "ms_", "time", "per_sec", "speedup", "ns",
+                  "cpu", "rate", "iterations")
+
+# Keys that depend on the machine or the moment, not the code: skipped.
+SKIP_KEYS = {"context", "date", "executable", "load_avg", "pool_threads",
+             "library_version", "library_build_type", "library_metadata",
+             "caches", "num_cpus", "mhz_per_cpu", "cpu_scaling_enabled"}
+
+REL_EPSILON = 1e-9  # exact-float comparison slack (serialization round-trip)
+
+
+def is_timing_key(key: str) -> bool:
+    lowered = key.lower()
+    return any(marker in lowered for marker in TIMING_MARKERS)
+
+
+class Report:
+    def __init__(self) -> None:
+        self.regressions: list[str] = []
+        self.improvements: list[str] = []
+        self.mismatches: list[str] = []
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions or self.mismatches)
+
+
+def compare(baseline, current, path: str, timing: bool, tolerance: float,
+            report: Report) -> None:
+    if type(baseline) is not type(current) and not (
+            isinstance(baseline, (int, float))
+            and isinstance(current, (int, float))):
+        report.mismatches.append(
+            f"{path}: type changed ({type(baseline).__name__} -> "
+            f"{type(current).__name__})")
+        return
+    if isinstance(baseline, dict):
+        for key in baseline:
+            if key in SKIP_KEYS:
+                continue
+            if key not in current:
+                report.mismatches.append(f"{path}.{key}: missing from current run")
+                continue
+            compare(baseline[key], current[key], f"{path}.{key}",
+                    timing or is_timing_key(key), tolerance, report)
+        for key in current:
+            if key not in baseline and key not in SKIP_KEYS:
+                report.mismatches.append(
+                    f"{path}.{key}: new key absent from baseline "
+                    f"(regenerate with --update)")
+        return
+    if isinstance(baseline, list):
+        if len(baseline) != len(current):
+            report.mismatches.append(
+                f"{path}: length changed ({len(baseline)} -> {len(current)})")
+            return
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            compare(b, c, f"{path}[{i}]", timing, tolerance, report)
+        return
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        if baseline != current:
+            report.mismatches.append(f"{path}: {baseline} -> {current}")
+        return
+    if isinstance(baseline, (int, float)):
+        if timing:
+            if baseline > 0 and current > baseline * (1.0 + tolerance):
+                report.regressions.append(
+                    f"{path}: {baseline:g} -> {current:g} "
+                    f"(+{(current / baseline - 1) * 100:.0f}%, "
+                    f"band +{tolerance * 100:.0f}%)")
+            elif baseline > 0 and current < baseline * (1.0 - tolerance):
+                report.improvements.append(
+                    f"{path}: {baseline:g} -> {current:g} "
+                    f"({(1 - current / baseline) * 100:.0f}% faster)")
+            return
+        if baseline != current:
+            scale = max(abs(baseline), abs(current), 1.0)
+            if abs(baseline - current) > REL_EPSILON * scale:
+                report.mismatches.append(f"{path}: {baseline!r} -> {current!r}")
+        return
+    if baseline != current:
+        report.mismatches.append(f"{path}: {baseline!r} -> {current!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--results", type=Path, default=Path("results"))
+    parser.add_argument("--baselines", type=Path,
+                        default=Path("results/baselines"))
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="allowed fractional slowdown for timing metrics "
+                             "(default 0.75 = 75%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current results over the baselines instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    current_files = sorted(args.results.glob("BENCH_*.json"))
+    if args.update:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        for f in current_files:
+            shutil.copy2(f, args.baselines / f.name)
+            print(f"baseline updated: {args.baselines / f.name}")
+        return 0
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"check_perf: no baselines in {args.baselines}; bootstrap with "
+              f"tools/check_perf.py --update", file=sys.stderr)
+        return 2
+
+    failed = False
+    for baseline_path in baseline_files:
+        current_path = args.results / baseline_path.name
+        if not current_path.exists():
+            print(f"FAIL {baseline_path.name}: bench result missing from "
+                  f"{args.results}")
+            failed = True
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+        report = Report()
+        compare(baseline, current, baseline_path.stem, False, args.tolerance,
+                report)
+        status = "FAIL" if report.failed else "ok"
+        print(f"{status:4} {baseline_path.name}"
+              f" ({len(report.regressions)} regressions,"
+              f" {len(report.mismatches)} mismatches,"
+              f" {len(report.improvements)} improvements)")
+        for line in report.regressions:
+            print(f"  REGRESSION {line}")
+        for line in report.mismatches:
+            print(f"  MISMATCH   {line}")
+        for line in report.improvements:
+            print(f"  faster     {line}")
+        failed |= report.failed
+
+    extra = [f.name for f in current_files
+             if not (args.baselines / f.name).exists()]
+    for name in extra:
+        print(f"note {name}: no baseline yet (add with --update)")
+
+    if failed:
+        print("check_perf: perf regression or deterministic-output mismatch; "
+              "if intentional, regenerate baselines with --update")
+        return 1
+    print("check_perf: all benches within the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

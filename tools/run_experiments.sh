@@ -12,6 +12,13 @@
 # latter loads in chrome://tracing / Perfetto); a Theorem-1 lifetime
 # violation or invalid Chrome JSON fails the script.
 #
+# The run ends with tools/check_perf.py, which compares the fresh
+# results/BENCH_*.json against the committed baselines in
+# results/baselines/ — deterministic outputs must match exactly, timing
+# metrics get a wide tolerance band — and fails the script on
+# regression. After an intentional behavior or perf change, regenerate
+# the baselines with `tools/check_perf.py --update` and commit them.
+#
 # Set DYNVOTE_SKIP_SANITIZERS=1 to skip the ASan/UBSan tier-1 pass
 # (it builds a second tree under build-asan/).
 set -e
@@ -71,5 +78,8 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
 fi
+
+echo "== check_perf (results/ vs results/baselines/)"
+python3 tools/check_perf.py
 
 echo "All experiment outputs written to ./results/"
