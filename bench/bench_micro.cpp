@@ -185,6 +185,10 @@ void BM_FullSimulatedSession(benchmark::State& state) {
   options.kind = kind;
   options.n = n;
   options.sim.seed = 7;
+  // Throughput bench: skip the replay-equals-snapshot audit (O(state)
+  // per persist, on by default for tests) so the measured path is the
+  // production one. The persistence suite covers the audit.
+  options.config.persistence.cross_check = false;
   Cluster cluster(options);
   cluster.start();
   ProcessSet majority;

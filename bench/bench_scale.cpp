@@ -62,6 +62,9 @@ RunDigest run_cell(std::uint32_t n, std::uint64_t seed) {
   options.kind = ProtocolKind::kOptimized;
   options.n = n;
   options.sim.seed = seed;
+  // Throughput bench: skip the debug replay-equals-snapshot audit (it
+  // re-reads O(state) per persist; bench_persistence measures its cost).
+  options.config.persistence.cross_check = false;
   Cluster cluster(options);
   sim::Simulator& sim = cluster.sim();
   for (const ScheduleEvent& event : schedule) {

@@ -11,6 +11,10 @@ void ThreePhaseRecoveryProtocol::on_phase_complete(
       // Same decision as ours — but even when it succeeds, three explicit
       // resolution rounds run before anyone dares to attempt.
       if (run_decision(messages)) {
+        // The decision step may have merged the participant sets; those
+        // must be durable before the propose round exposes them (section
+        // 4.4). run_decision only persists on rejection.
+        persist();
         send_phase(1, std::make_shared<RoundPayload>(1, "3pc.propose"));
       }
       return;

@@ -92,25 +92,20 @@ BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
                                  DvConfig config, int max_phases)
     : SessionProtocolBase(sim, id, max_phases),
       state_(ProtocolState::initial(config.core, id)),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      wal_(storage(), &metrics(), kStateKey, id, config_.persistence) {
   // Durable from birth: a crash before the first session must not erase
   // the fact that a core member once knew (W0, 0).
-  persist();
+  wal_.checkpoint(state_);
 }
 
-void BasicDvProtocol::persist() {
-  Encoder& enc = scratch_encoder();
-  state_.encode(enc);
-  storage().put(kStateKey, enc.bytes().data(), enc.size());
-}
+void BasicDvProtocol::persist() { wal_.commit(state_); }
 
 void BasicDvProtocol::handle_recover() {
-  const auto bytes = storage().get(kStateKey);
-  if (bytes) {
-    Decoder dec(*bytes);
-    state_ = ProtocolState::decode(dec);
+  if (std::optional<ProtocolState> recovered = wal_.recover()) {
+    state_ = std::move(*recovered);
   } else {
-    // The constructor persisted the initial state, so an empty store
+    // The constructor checkpointed the initial state, so an empty store
     // means the disk was destroyed (paper footnote 4): come back with
     // Last_Primary = (∞,-1) and no trustworthy history. The ambiguous
     // records died with the disk — close their lifetime spans.
@@ -120,7 +115,7 @@ void BasicDvProtocol::handle_recover() {
     }
     state_ = ProtocolState::after_disk_loss(id());
     record_ambiguity_level();
-    persist();
+    wal_.checkpoint(state_);
   }
 }
 
@@ -180,7 +175,11 @@ bool BasicDvProtocol::run_decision(const PhaseMessages& messages) {
     std::vector<const ParticipantTracker*> peers;
     peers.reserve(infos.size());
     for (const auto& [from, info] : infos) peers.push_back(&info->participants);
+    const ParticipantTracker before = state_.participants;
     state_.participants.merge_attempt_step(peers);
+    if (state_.participants != before) {
+      wal_.stage(StateDelta::merge_participants(state_.participants));
+    }
   }
 
   pending_agg_ = aggregate_step1(infos);
@@ -205,6 +204,7 @@ void BasicDvProtocol::record_and_send_attempt(int phase) {
         state_.ambiguous.end() -
             static_cast<std::ptrdiff_t>(config_.ambiguous_record_limit));
   }
+  wal_.stage(StateDelta::attempt(session, config_.ambiguous_record_limit));
   max_ambiguous_recorded_ =
       std::max(max_ambiguous_recorded_, state_.ambiguous.size());
   record_ambiguity_level();
@@ -226,7 +226,11 @@ void BasicDvProtocol::run_form_step(const PhaseMessages& messages) {
            "attempt session number mismatch (Lemma 4 violated)");
   }
   const Session actual{session_view().members, state_.session_number};
-  state_.apply_form(make_formed_record(actual));
+  // The recorded session can differ from the view (the hybrid baseline
+  // pins the membership); the delta must carry what was recorded.
+  const Session recorded = make_formed_record(actual);
+  state_.apply_form(recorded);
+  wal_.stage(StateDelta::form(recorded));
   record_ambiguity_level();
   persist();
   mark_primary(actual);

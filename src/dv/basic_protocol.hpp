@@ -24,6 +24,7 @@
 
 #include "dv/protocol_base.hpp"
 #include "dv/state.hpp"
+#include "dv/wal.hpp"
 #include "quorum/sub_quorum.hpp"
 
 namespace dynvote {
@@ -50,6 +51,11 @@ struct DvConfig {
   /// The paper proves any finite cap breaks consistency (section 4.6);
   /// the LastAttemptOnly baseline sets 1 to reproduce exactly that.
   std::size_t ambiguous_record_limit = 0;
+
+  /// How protocol state reaches stable storage (dv/wal.hpp): delta WAL
+  /// with checkpoint compaction by default, full snapshot per persist as
+  /// the legacy fallback.
+  PersistenceOptions persistence;
 };
 
 /// The values computed at the start of the attempt step (paper 4.3).
@@ -86,6 +92,13 @@ class BasicDvProtocol : public SessionProtocolBase {
 
   [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }
   [[nodiscard]] const DvConfig& config() const noexcept { return config_; }
+
+  /// The persistence layer (tests hook its mid-compaction window and
+  /// read its persist counters).
+  [[nodiscard]] WalPersistence& persistence() noexcept { return wal_; }
+  [[nodiscard]] const WalPersistence& persistence() const noexcept {
+    return wal_;
+  }
 
   /// High-water mark of |Ambiguous_Sessions| ever recorded — the metric
   /// of experiment E3 (exponential without GC, linear with).
@@ -143,8 +156,10 @@ class BasicDvProtocol : public SessionProtocolBase {
     return pending_agg_;
   }
 
-  /// Encodes state_ to stable storage. Called before every send that
-  /// exposes a state change (paper section 4.4).
+  /// Makes the mutations of the current step durable (paper section
+  /// 4.4): commits the deltas staged on wal_ (or rewrites the snapshot in
+  /// snapshot mode). Called before every send that exposes a state
+  /// change; a commit with nothing staged writes nothing.
   void persist();
 
   /// Records the current |Ambiguous_Sessions| in the trace and the
@@ -162,6 +177,9 @@ class BasicDvProtocol : public SessionProtocolBase {
 
   ProtocolState state_;
   DvConfig config_;
+  /// Persistence of state_. Every mutation of state_ must stage its
+  /// delta here before persist() — the cross-check enforces it.
+  WalPersistence wal_;
 
  private:
   StepAggregates pending_agg_;

@@ -29,8 +29,9 @@ CentralizedDvProtocol::CentralizedDvProtocol(sim::Simulator& sim, ProcessId id,
                                              DvConfig config)
     : ProtocolNode(sim, id),
       state_(ProtocolState::initial(config.core, id)),
-      config_(std::move(config)) {
-  persist();
+      config_(std::move(config)),
+      wal_(storage(), &metrics(), kStateKey, id, config_.persistence) {
+  wal_.checkpoint(state_);
 }
 
 ProcessId CentralizedDvProtocol::coordinator_of(const View& view) {
@@ -42,11 +43,7 @@ bool CentralizedDvProtocol::coordinating() const {
   return current_view() && coordinator_of(*current_view()) == id();
 }
 
-void CentralizedDvProtocol::persist() {
-  Encoder& enc = scratch_encoder();
-  state_.encode(enc);
-  storage().put(kStateKey, enc.bytes().data(), enc.size());
-}
+void CentralizedDvProtocol::persist() { wal_.commit(state_); }
 
 void CentralizedDvProtocol::on_view(const View& view) {
   leave_primary();
@@ -103,7 +100,11 @@ void CentralizedDvProtocol::run_coordinator_decision() {
   if (config_.dynamic_participants) {
     std::vector<const ParticipantTracker*> peers;
     for (const auto& [p, info] : infos) peers.push_back(&info->participants);
+    const ParticipantTracker before = state_.participants;
     state_.participants.merge_attempt_step(peers);
+    if (state_.participants != before) {
+      wal_.stage(StateDelta::merge_participants(state_.participants));
+    }
   }
 
   const StepAggregates agg = aggregate_step1(infos);
@@ -127,6 +128,7 @@ void CentralizedDvProtocol::run_coordinator_decision() {
   state_.session_number = agg.max_session + 1;
   const Session session{M, state_.session_number};
   state_.record_attempt(session, id());
+  wal_.stage(StateDelta::attempt(session, /*record_limit=*/0));
   persist();
   attempted_this_session_ = true;
   notify_attempt(session);
@@ -162,6 +164,7 @@ void CentralizedDvProtocol::handle_attempt(const CentralizedPayload& msg) {
   state_.session_number = msg.session_number;
   const Session session{current_view()->members, msg.session_number};
   state_.record_attempt(session, id());
+  wal_.stage(StateDelta::attempt(session, /*record_limit=*/0));
   persist();  // durable BEFORE the ack: the whole point of the hop
   attempted_this_session_ = true;
   notify_attempt(session);
@@ -182,6 +185,7 @@ void CentralizedDvProtocol::handle_commit(const CentralizedPayload& msg) {
 void CentralizedDvProtocol::form(SessionNumber number) {
   const Session session{current_view()->members, number};
   state_.apply_form(session);
+  wal_.stage(StateDelta::form(session));
   persist();
   session_active_ = false;
   // 4 hops of latency; reported as 4 rounds for the cost comparisons.
@@ -196,13 +200,11 @@ void CentralizedDvProtocol::on_crash() {
 }
 
 void CentralizedDvProtocol::on_recover() {
-  const auto bytes = storage().get(kStateKey);
-  if (bytes) {
-    Decoder dec(*bytes);
-    state_ = ProtocolState::decode(dec);
+  if (std::optional<ProtocolState> recovered = wal_.recover()) {
+    state_ = std::move(*recovered);
   } else {
     state_ = ProtocolState::after_disk_loss(id());
-    persist();
+    wal_.checkpoint(state_);
   }
 }
 

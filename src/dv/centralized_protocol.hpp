@@ -59,6 +59,10 @@ class CentralizedDvProtocol : public ProtocolNode {
 
   [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }
 
+  /// The persistence layer (tests hook its mid-compaction window and
+  /// read its persist counters).
+  [[nodiscard]] WalPersistence& persistence() noexcept { return wal_; }
+
   /// The coordinator of a view: its lowest-ranked member.
   [[nodiscard]] static ProcessId coordinator_of(const View& view);
 
@@ -79,6 +83,7 @@ class CentralizedDvProtocol : public ProtocolNode {
 
   ProtocolState state_;
   DvConfig config_;
+  WalPersistence wal_;
 
   bool session_active_ = false;
   std::map<ProcessId, InfoPayload> collected_infos_;  // coordinator only

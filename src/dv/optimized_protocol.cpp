@@ -34,11 +34,19 @@ void OptimizedDvProtocol::pre_decision_update(const InfoBySender& infos) {
         // Last_Formed_q(p).N = S.N  =>  q formed S.
         ensure(lf_it->second.members == amb.session.members,
                "formed session number collision (Lemma 10 violated)");
-        amb.set_knowledge(q, FormedKnowledge::kFormed);
+        if (amb.knowledge_about(q) != FormedKnowledge::kFormed) {
+          amb.set_knowledge(q, FormedKnowledge::kFormed);
+          wal_.stage(StateDelta::learned(amb.session.number, q,
+                                         FormedKnowledge::kFormed));
+        }
       } else if (!has_entry || lf_it->second.number < amb.session.number) {
         // Last_Formed_q(p).N < S.N  =>  q did not form S. (No entry at
         // all means q never formed any session containing us.)
-        amb.set_knowledge(q, FormedKnowledge::kNotFormed);
+        if (amb.knowledge_about(q) != FormedKnowledge::kNotFormed) {
+          amb.set_knowledge(q, FormedKnowledge::kNotFormed);
+          wal_.stage(StateDelta::learned(amb.session.number, q,
+                                         FormedKnowledge::kNotFormed));
+        }
       }
       // Last_Formed_q(p).N > S.N gives no direct verdict on S here; the
       // later formed session is itself one of our ambiguous attempts
@@ -92,24 +100,31 @@ void OptimizedDvProtocol::pre_decision_update(const InfoBySender& infos) {
       }
     }
     state_.adopt_formed(adopted);
+    wal_.stage(StateDelta::adopt(adopted));
     ++gc_adoptions_;
   }
 
   // Deletion: sessions formed by nobody are no constraint on anything.
   const std::size_t before = state_.ambiguous.size();
+  std::vector<SessionNumber> deleted;
   std::erase_if(state_.ambiguous, [&](const AmbiguousSession& amb) {
     if (amb.known_unformed_by_all()) {
       record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
                                   amb.session, "5.2-rule1-unformed-by-all");
+      deleted.push_back(amb.session.number);
       return true;
     }
     if (formed_by_nobody.contains(amb.session.number)) {
       record_ambiguity_resolution(obs::TraceEventKind::kAmbiguityResolved,
                                   amb.session, "5.2-rule2-formed-by-nobody");
+      deleted.push_back(amb.session.number);
       return true;
     }
     return false;
   });
+  if (!deleted.empty()) {
+    wal_.stage(StateDelta::erase_ambiguous(std::move(deleted)));
+  }
   gc_deletions_ += before - state_.ambiguous.size();
   if (to_adopt != nullptr || before != state_.ambiguous.size()) {
     record_ambiguity_level();

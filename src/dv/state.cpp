@@ -129,6 +129,212 @@ ProtocolState ProtocolState::decode(Decoder& dec) {
   return state;
 }
 
+StateDelta StateDelta::session_number(SessionNumber n) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kSessionNumber;
+  d.number = n;
+  return d;
+}
+
+StateDelta StateDelta::attempt(Session s, std::uint64_t record_limit) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kAttempt;
+  d.session = std::move(s);
+  d.record_limit = record_limit;
+  return d;
+}
+
+StateDelta StateDelta::form(Session s) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kForm;
+  d.session = std::move(s);
+  return d;
+}
+
+StateDelta StateDelta::adopt(Session s) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kAdopt;
+  d.session = std::move(s);
+  return d;
+}
+
+StateDelta StateDelta::learned(SessionNumber n, ProcessId q,
+                               FormedKnowledge k) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kKnowledge;
+  d.number = n;
+  d.subject = q;
+  d.knowledge = k;
+  return d;
+}
+
+StateDelta StateDelta::erase_ambiguous(std::vector<SessionNumber> numbers) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kEraseAmbiguous;
+  d.numbers = std::move(numbers);
+  return d;
+}
+
+StateDelta StateDelta::merge_participants(ParticipantTracker t) {
+  StateDelta d;
+  d.kind = StateDeltaKind::kParticipants;
+  d.participants = std::move(t);
+  return d;
+}
+
+void StateDelta::apply(ProtocolState& state, ProcessId self) const {
+  switch (kind) {
+    case StateDeltaKind::kSessionNumber:
+      state.session_number = number;
+      return;
+    case StateDeltaKind::kAttempt:
+      state.session_number = session.number;
+      state.record_attempt(session, self);
+      if (record_limit != 0 && state.ambiguous.size() > record_limit) {
+        state.ambiguous.erase(
+            state.ambiguous.begin(),
+            state.ambiguous.end() - static_cast<std::ptrdiff_t>(record_limit));
+      }
+      return;
+    case StateDeltaKind::kForm:
+      state.session_number = session.number;
+      state.apply_form(session);
+      return;
+    case StateDeltaKind::kAdopt:
+      state.adopt_formed(session);
+      return;
+    case StateDeltaKind::kKnowledge: {
+      AmbiguousSession* amb = state.find_ambiguous(number);
+      ensure(amb != nullptr, "knowledge delta for unrecorded session");
+      amb->set_knowledge(subject, knowledge);
+      return;
+    }
+    case StateDeltaKind::kEraseAmbiguous:
+      std::erase_if(state.ambiguous, [&](const AmbiguousSession& a) {
+        return std::find(numbers.begin(), numbers.end(), a.session.number) !=
+               numbers.end();
+      });
+      return;
+    case StateDeltaKind::kParticipants:
+      state.participants = participants;
+      return;
+  }
+  ensure(false, "unknown state-delta kind");
+}
+
+namespace {
+
+std::uint8_t encode_knowledge(FormedKnowledge k) {
+  return static_cast<std::uint8_t>(static_cast<std::int8_t>(k) + 1);
+}
+
+FormedKnowledge decode_knowledge(std::uint8_t byte) {
+  if (byte > 2) throw CodecError("invalid formed-knowledge byte");
+  return static_cast<FormedKnowledge>(static_cast<std::int8_t>(byte) - 1);
+}
+
+}  // namespace
+
+void StateDelta::encode(Encoder& enc) const {
+  enc.put_u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case StateDeltaKind::kSessionNumber:
+      enc.put_i64(number);
+      return;
+    case StateDeltaKind::kAttempt:
+      session.encode(enc);
+      enc.put_varint(record_limit);
+      return;
+    case StateDeltaKind::kForm:
+    case StateDeltaKind::kAdopt:
+      session.encode(enc);
+      return;
+    case StateDeltaKind::kKnowledge:
+      enc.put_i64(number);
+      enc.put_process_id(subject);
+      enc.put_u8(encode_knowledge(knowledge));
+      return;
+    case StateDeltaKind::kEraseAmbiguous:
+      enc.put_varint(numbers.size());
+      for (SessionNumber n : numbers) enc.put_i64(n);
+      return;
+    case StateDeltaKind::kParticipants:
+      participants.encode(enc);
+      return;
+  }
+  ensure(false, "unknown state-delta kind");
+}
+
+StateDelta StateDelta::decode(Decoder& dec) {
+  StateDelta d;
+  const std::uint8_t kind = dec.get_u8();
+  if (kind < static_cast<std::uint8_t>(StateDeltaKind::kSessionNumber) ||
+      kind > static_cast<std::uint8_t>(StateDeltaKind::kParticipants)) {
+    throw CodecError("unknown state-delta kind");
+  }
+  d.kind = static_cast<StateDeltaKind>(kind);
+  switch (d.kind) {
+    case StateDeltaKind::kSessionNumber:
+      d.number = dec.get_i64();
+      return d;
+    case StateDeltaKind::kAttempt:
+      d.session = Session::decode(dec);
+      d.record_limit = dec.get_varint();
+      return d;
+    case StateDeltaKind::kForm:
+    case StateDeltaKind::kAdopt:
+      d.session = Session::decode(dec);
+      return d;
+    case StateDeltaKind::kKnowledge:
+      d.number = dec.get_i64();
+      d.subject = dec.get_process_id();
+      d.knowledge = decode_knowledge(dec.get_u8());
+      return d;
+    case StateDeltaKind::kEraseAmbiguous: {
+      const std::uint64_t n = dec.get_varint();
+      if (n > dec.remaining()) {
+        throw CodecError("erase-delta count prefix too large");
+      }
+      d.numbers.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) d.numbers.push_back(dec.get_i64());
+      return d;
+    }
+    case StateDeltaKind::kParticipants:
+      d.participants = ParticipantTracker::decode(dec);
+      return d;
+  }
+  throw CodecError("unknown state-delta kind");
+}
+
+namespace {
+// Leading byte of a checkpoint record. Deliberately far from the
+// ProtocolState format version (1): recovery dispatches on the first
+// byte to also read legacy raw snapshots (and snapshot-mode writes).
+constexpr std::uint8_t kCheckpointMagic = 0xC5;
+}  // namespace
+
+void encode_checkpoint(Encoder& enc, const ProtocolState& state,
+                       std::uint64_t covers_lsn) {
+  enc.put_u8(kCheckpointMagic);
+  enc.put_varint(covers_lsn);
+  state.encode(enc);
+}
+
+CheckpointRecord decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  CheckpointRecord record;
+  if (!bytes.empty() && bytes[0] == kCheckpointMagic) {
+    Decoder dec(bytes);
+    (void)dec.get_u8();
+    record.covers_lsn = dec.get_varint();
+    record.state = ProtocolState::decode(dec);
+  } else {
+    Decoder dec(bytes);
+    record.state = ProtocolState::decode(dec);
+    record.covers_lsn = 0;
+  }
+  return record;
+}
+
 std::string ProtocolState::to_string() const {
   std::string out = "sn=" + std::to_string(session_number) +
                     " lp=" + dynvote::to_string(last_primary) + " amb=[";

@@ -88,4 +88,83 @@ struct ProtocolState {
   friend bool operator==(const ProtocolState&, const ProtocolState&) = default;
 };
 
+/// One delta record of the persistence WAL (dv/wal.hpp). Each kind
+/// mirrors exactly one mutation of ProtocolState, so a step that changed
+/// the state is durably described by the (ordered) deltas it staged, and
+/// `apply` replays it: replay(checkpoint, log) must always reproduce the
+/// live state — the cross-check in WalPersistence asserts it does.
+enum class StateDeltaKind : std::uint8_t {
+  /// Raw Session_Number assignment (rarely needed alone: kAttempt and
+  /// kForm both carry the number of the session they install).
+  kSessionNumber = 1,
+  /// Attempt step: Session_Number := S.N, record_attempt(S), then the
+  /// deliberately-unsound truncation of DvConfig::ambiguous_record_limit
+  /// if the writer had one configured.
+  kAttempt = 2,
+  /// Form step: Session_Number := S.N, apply_form(S). S is the *recorded*
+  /// session (baselines may pin a different membership than the view).
+  kForm = 3,
+  /// Resolution-rule adoption (paper figure 2): adopt_formed(S).
+  kAdopt = 4,
+  /// Learning rule outcome (paper 5.2): S.A[q] := k for the ambiguous
+  /// session with the given number.
+  kKnowledge = 5,
+  /// Resolution-rule deletions: drop the ambiguous sessions with these
+  /// numbers ("formed by nobody").
+  kEraseAmbiguous = 6,
+  /// Attempt-step participant merge (paper section 6): the post-merge
+  /// W / A tracker (small: two process sets).
+  kParticipants = 7,
+};
+
+struct StateDelta {
+  StateDeltaKind kind = StateDeltaKind::kSessionNumber;
+  Session session;                      // kAttempt / kForm / kAdopt
+  SessionNumber number = 0;             // kSessionNumber / kKnowledge
+  ProcessId subject;                    // kKnowledge
+  FormedKnowledge knowledge = FormedKnowledge::kUnknown;  // kKnowledge
+  std::vector<SessionNumber> numbers;   // kEraseAmbiguous
+  ParticipantTracker participants;      // kParticipants
+  std::uint64_t record_limit = 0;       // kAttempt (0 = unlimited)
+
+  [[nodiscard]] static StateDelta session_number(SessionNumber n);
+  [[nodiscard]] static StateDelta attempt(Session s,
+                                          std::uint64_t record_limit);
+  [[nodiscard]] static StateDelta form(Session s);
+  [[nodiscard]] static StateDelta adopt(Session s);
+  [[nodiscard]] static StateDelta learned(SessionNumber n, ProcessId q,
+                                          FormedKnowledge k);
+  [[nodiscard]] static StateDelta erase_ambiguous(
+      std::vector<SessionNumber> numbers);
+  [[nodiscard]] static StateDelta merge_participants(ParticipantTracker t);
+
+  /// Replays this delta against `state`. `self` is the replaying process
+  /// (attempt records initialize their knowledge array around it).
+  void apply(ProtocolState& state, ProcessId self) const;
+
+  void encode(Encoder& enc) const;
+  [[nodiscard]] static StateDelta decode(Decoder& dec);
+
+  friend bool operator==(const StateDelta&, const StateDelta&) = default;
+};
+
+/// Versioned checkpoint record: the full snapshot plus the WAL sequence
+/// number it covers. Distinguished from a legacy raw ProtocolState
+/// snapshot by its leading magic byte, so recovery reads both formats.
+void encode_checkpoint(Encoder& enc, const ProtocolState& state,
+                       std::uint64_t covers_lsn);
+
+struct CheckpointRecord {
+  ProtocolState state;
+  /// Log records with lsn <= covers_lsn are already folded into `state`
+  /// (a crash between checkpoint write and log truncation leaves them in
+  /// the log; replay must skip them).
+  std::uint64_t covers_lsn = 0;
+};
+
+/// Decodes either a checkpoint record or a legacy raw snapshot (which
+/// covers nothing, lsn 0).
+[[nodiscard]] CheckpointRecord decode_checkpoint(
+    const std::vector<std::uint8_t>& bytes);
+
 }  // namespace dynvote

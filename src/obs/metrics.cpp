@@ -27,7 +27,7 @@ void Histogram::reset() noexcept {
   buckets_.assign(buckets_.size(), 0);
 }
 
-std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json.hpp"
@@ -83,27 +84,33 @@ class Histogram {
 };
 
 /// Named instruments. Lookup creates on first use; references stay valid
-/// for the registry's lifetime.
+/// for the registry's lifetime. The maps use transparent comparators, so
+/// lookups by string_view (or string literal) never materialize a
+/// temporary std::string unless the instrument is genuinely new.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  template <typename T>
+  using InstrumentMap = std::map<std::string, T, std::less<>>;
 
-  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+  Counter& counter(std::string_view name) { return lookup(counters_, name); }
+  Gauge& gauge(std::string_view name) { return lookup(gauges_, name); }
+  Histogram& histogram(std::string_view name) {
+    return lookup(histograms_, name);
+  }
+
+  [[nodiscard]] const InstrumentMap<Counter>& counters() const noexcept {
     return counters_;
   }
-  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+  [[nodiscard]] const InstrumentMap<Gauge>& gauges() const noexcept {
     return gauges_;
   }
-  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
-      const noexcept {
+  [[nodiscard]] const InstrumentMap<Histogram>& histograms() const noexcept {
     return histograms_;
   }
 
   /// Counter value, or 0 when the counter was never touched (does not
   /// create the instrument — safe on a const registry).
-  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 
   /// Zeroes every registered instrument (registrations survive, so cached
   /// instrument pointers stay valid).
@@ -115,9 +122,16 @@ class MetricsRegistry {
   [[nodiscard]] JsonValue to_json() const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  template <typename T>
+  static T& lookup(InstrumentMap<T>& instruments, std::string_view name) {
+    const auto it = instruments.find(name);
+    if (it != instruments.end()) return it->second;
+    return instruments.emplace(std::string(name), T{}).first->second;
+  }
+
+  InstrumentMap<Counter> counters_;
+  InstrumentMap<Gauge> gauges_;
+  InstrumentMap<Histogram> histograms_;
 };
 
 }  // namespace dynvote::obs

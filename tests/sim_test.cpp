@@ -126,5 +126,64 @@ TEST(StableStorage, TracksWriteMetrics) {
   EXPECT_EQ(storage.bytes_written(), 4u);
 }
 
+TEST(StableStorage, InternIsIdempotentAndSharedWithStringShims) {
+  StableStorage storage;
+  const StableStorage::KeyId id = storage.intern("k");
+  EXPECT_EQ(storage.intern("k"), id);
+  EXPECT_NE(storage.intern("other"), id);
+
+  const std::uint8_t bytes[] = {7, 8};
+  storage.put(id, bytes, sizeof bytes);
+  EXPECT_EQ(storage.get("k"), (std::vector<std::uint8_t>{7, 8}));
+  storage.put("k", {9});
+  ASSERT_NE(storage.value(id), nullptr);
+  EXPECT_EQ(*storage.value(id), (std::vector<std::uint8_t>{9}));
+}
+
+TEST(StableStorage, AppendLogTruncate) {
+  StableStorage storage;
+  const StableStorage::KeyId id = storage.intern("k");
+  EXPECT_EQ(storage.log_bytes(id), 0u);
+  const std::uint8_t a[] = {1, 2};
+  const std::uint8_t b[] = {3};
+  storage.append(id, a, sizeof a);
+  storage.append(id, b, sizeof b);
+  EXPECT_EQ(storage.log(id), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(storage.log_records(id), 2u);
+  EXPECT_EQ(storage.log_bytes(id), 3u);
+  // The log and the value slot are independent surfaces of one key.
+  EXPECT_EQ(storage.value(id), nullptr);
+  // Appends count as writes, and separately as appends.
+  EXPECT_EQ(storage.writes(), 2u);
+  EXPECT_EQ(storage.appends(), 2u);
+  EXPECT_EQ(storage.bytes_written(), 3u);
+
+  storage.truncate_log(id);
+  EXPECT_EQ(storage.log_bytes(id), 0u);
+  EXPECT_EQ(storage.log_records(id), 0u);
+}
+
+TEST(StableStorage, DestroyWipesLogsButKeepsInternedIds) {
+  StableStorage storage;
+  const StableStorage::KeyId id = storage.intern("k");
+  const std::uint8_t a[] = {1};
+  storage.append(id, a, sizeof a);
+  storage.put(id, a, sizeof a);
+  EXPECT_EQ(storage.entry_count(), 1u);
+  storage.destroy();
+  EXPECT_EQ(storage.entry_count(), 0u);
+  EXPECT_EQ(storage.log_bytes(id), 0u);
+  EXPECT_EQ(storage.value(id), nullptr);
+  // The id still names the same slot after the disk loss.
+  EXPECT_EQ(storage.intern("k"), id);
+}
+
+TEST(StableStorage, RejectsForeignKeyIds) {
+  StableStorage storage;
+  const std::uint8_t a[] = {1};
+  EXPECT_THROW(storage.put(StableStorage::KeyId{42}, a, sizeof a),
+               dynvote::InvariantViolation);
+}
+
 }  // namespace
 }  // namespace dynvote::sim

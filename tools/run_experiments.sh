@@ -19,8 +19,10 @@
 # regression. After an intentional behavior or perf change, regenerate
 # the baselines with `tools/check_perf.py --update` and commit them.
 #
-# Set DYNVOTE_SKIP_SANITIZERS=1 to skip the ASan/UBSan tier-1 pass
-# (it builds a second tree under build-asan/).
+# Set DYNVOTE_SKIP_SANITIZERS=1 to skip the sanitizer passes: the
+# ASan/UBSan tier-1 run (build-asan/) and the TSan run of the sweep-pool
+# and persistence suites (build-tsan/ — TSan cannot share a tree with
+# ASan, the runtimes conflict).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -77,6 +79,19 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+
+  # ThreadSanitizer over the code that actually runs multithreaded (the
+  # sweep pool) plus the persistence suite, whose WAL layer the sweep
+  # workers exercise concurrently. TSan needs its own build tree.
+  echo "== sweep-pool + persistence tests under TSan (build-tsan/)"
+  if [ -f build-tsan/CMakeCache.txt ]; then
+    cmake -B build-tsan -DDYNVOTE_SANITIZE=thread
+  else
+    cmake -B build-tsan -G Ninja -DDYNVOTE_SANITIZE=thread
+  fi
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '^(Sweep\.|SweepDeterminism\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
