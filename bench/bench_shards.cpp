@@ -1,0 +1,266 @@
+// Shard bench — the multi-group service at four-digit fleet sizes.
+//
+// Each row runs a sharded fleet (src/shard/): hundreds of independent
+// primary-component groups over one shared simulator, with machines
+// hosting replicas of many groups and every fault cutting machines —
+// so one fleet event reconfigures all hosted groups at once. Each seed
+// drives a fixed schedule of correlated partitions, a machine
+// crash/recover cycle, and key-value traffic routed by the ShardMap,
+// then audits every group for split-brain evidence (none, ever, for the
+// consistent protocol).
+//
+// Reported: aggregate formed-quorums/sec (distinct formed sessions
+// across all groups per wall second of the pooled pass) and the p50/p99
+// reconfiguration latency in virtual ticks (fleet fault -> first
+// formation in each affected group). Every seed runs twice through the
+// sweep pool (1 thread, then the full pool); the per-seed digests must
+// be byte-identical — the sweep determinism contract at fleet scale.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/bench_report.hpp"
+#include "harness/sweep.hpp"
+#include "shard/sharded_fleet.hpp"
+#include "shard/sharded_kv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dynvote {
+namespace {
+
+struct FleetShape {
+  std::uint32_t groups;
+  std::uint32_t group_size;
+  std::uint32_t machines;
+};
+
+struct RunDigest {
+  std::uint64_t executed = 0;
+  std::uint64_t horizon = 0;
+  std::uint64_t formed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t accepted_writes = 0;
+  std::uint64_t rejected_writes = 0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_sum = 0;  // virtual ticks
+  std::uint64_t divergences = 0;
+  std::uint64_t violations = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+struct RunResult {
+  RunDigest digest;
+  std::vector<double> latencies;  // virtual ticks, formation order
+
+  bool operator==(const RunResult&) const = default;
+};
+
+/// A random disjoint machine partition covering every machine: shuffle,
+/// then cut into `sides` contiguous chunks.
+shard::ShardedFleet::MachinePartition random_partition(Rng& rng,
+                                                       std::uint32_t machines,
+                                                       std::uint32_t sides) {
+  std::vector<std::uint32_t> order(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) order[m] = m;
+  for (std::uint32_t i = machines - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  shard::ShardedFleet::MachinePartition out(sides);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    out[m % sides].push_back(order[m]);
+  }
+  return out;
+}
+
+RunResult run_cell(const FleetShape& shape, std::uint64_t seed) {
+  shard::ShardedFleetOptions options;
+  options.num_groups = shape.groups;
+  options.group_size = shape.group_size;
+  options.num_machines = shape.machines;
+  options.kind = ProtocolKind::kOptimized;
+  options.sim.seed = 91'000 + seed;
+  shard::ShardedFleet fleet(options);
+  shard::ShardedKv kv(fleet);
+  Rng schedule_rng(13'000 + seed);
+
+  fleet.start();
+
+  constexpr int kRounds = 4;
+  constexpr int kWritesPerRound = 64;
+  std::uint64_t next_key = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    // Correlated cut: two or three sides, hitting every machine and
+    // therefore every hosted group at once.
+    const auto sides = 2 + (round % 2);
+    fleet.partition_fleet(random_partition(
+        schedule_rng, shape.machines, static_cast<std::uint32_t>(sides)));
+    fleet.settle();
+    for (int w = 0; w < kWritesPerRound; ++w) {
+      kv.write("key-" + std::to_string(next_key++),
+               "r" + std::to_string(round));
+    }
+    if (round == 1) {
+      // One machine dies mid-partition: every group with a replica on it
+      // reconfigures again.
+      const auto machine = static_cast<std::uint32_t>(
+          schedule_rng.next_below(shape.machines));
+      fleet.crash_machine(machine);
+      fleet.settle();
+      fleet.recover_machine(machine);
+      fleet.settle();
+    }
+    fleet.merge_fleet();
+    fleet.settle();
+    kv.sync_primaries();
+  }
+
+  RunResult result;
+  result.latencies = fleet.reconfig_latencies();
+  RunDigest& digest = result.digest;
+  digest.executed = fleet.sim().queue().executed();
+  digest.horizon = fleet.sim().now();
+  digest.formed = fleet.total_formed_sessions();
+  digest.messages = fleet.sim().network().stats().messages_sent;
+  digest.accepted_writes = kv.accepted_writes();
+  digest.rejected_writes = kv.rejected_writes();
+  digest.latency_count = result.latencies.size();
+  for (const double sample : result.latencies) {
+    digest.latency_sum += static_cast<std::uint64_t>(sample);
+  }
+  digest.divergences = kv.audit().size();
+  // Order checks are O(k^3) in formed sessions per group; groups are
+  // small, so the default limit is fine.
+  digest.violations = fleet.check_all_groups().size();
+  return result;
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main() {
+  using namespace dynvote;
+  const std::size_t pool = sweep_thread_count(0);
+  const bool full = std::getenv("DYNVOTE_SHARDS_FULL") != nullptr;
+  // Quick mode trims to the small shape with 2 seeds: the sanitizer
+  // passes in run_experiments.sh use it to race/overflow-check the
+  // multi-group path without paying the four-digit row under ASan.
+  const bool quick = std::getenv("DYNVOTE_SHARDS_QUICK") != nullptr;
+  std::puts("Shards: multi-group fleet throughput, serial vs sweep pool");
+  std::printf("       pool = %zu thread(s); DYNVOTE_THREADS overrides, "
+              "DYNVOTE_SHARDS_FULL=1 adds the n=2048 row, "
+              "DYNVOTE_SHARDS_QUICK=1 trims for sanitizer runs\n\n",
+              pool);
+
+  std::vector<FleetShape> shapes = {
+      {32, 8, 16},    // n = 256
+      {128, 8, 32},   // n = 1024 — the four-digit flagship row
+  };
+  if (full) shapes.push_back({256, 8, 64});  // n = 2048
+  if (quick) shapes.resize(1);
+  const std::size_t seeds_per_shape = quick ? 2 : 4;
+
+  Table table({"groups", "gsize", "machines", "n", "seeds", "formed",
+               "formed/sec", "p50 reconf", "p99 reconf", "pool ms",
+               "speedup"});
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("shards"));
+  result.set("pool_threads", JsonValue(std::uint64_t{pool}));
+  JsonValue rows = JsonValue::array();
+  bool deterministic = true;
+  bool clean = true;
+
+  for (const FleetShape& shape : shapes) {
+    const std::size_t seeds = seeds_per_shape;
+    using Clock = std::chrono::steady_clock;
+    const auto serial_start = Clock::now();
+    const auto serial = sweep_map<RunResult>(
+        seeds, 1, [&shape](std::size_t i) { return run_cell(shape, i); });
+    const auto serial_end = Clock::now();
+    const auto pooled = sweep_map<RunResult>(
+        seeds, pool, [&shape](std::size_t i) { return run_cell(shape, i); });
+    const auto pooled_end = Clock::now();
+
+    const bool match = serial == pooled;
+    deterministic &= match;
+
+    std::uint64_t formed = 0;
+    std::uint64_t divergences = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t accepted = 0;
+    Summary latency;
+    for (const RunResult& r : pooled) {
+      formed += r.digest.formed;
+      divergences += r.digest.divergences;
+      violations += r.digest.violations;
+      accepted += r.digest.accepted_writes;
+      latency.add_all(r.latencies);
+    }
+    clean &= divergences == 0 && violations == 0;
+
+    const double serial_ms =
+        std::chrono::duration<double, std::milli>(serial_end - serial_start)
+            .count();
+    const double pool_ms =
+        std::chrono::duration<double, std::milli>(pooled_end - serial_end)
+            .count();
+    const double speedup = pool_ms > 0 ? serial_ms / pool_ms : 0;
+    const double formed_per_sec =
+        pool_ms > 0 ? static_cast<double>(formed) * 1000.0 / pool_ms : 0;
+    const double p50 = latency.empty() ? 0 : latency.percentile(0.50);
+    const double p99 = latency.empty() ? 0 : latency.percentile(0.99);
+
+    char speedup_text[32];
+    std::snprintf(speedup_text, sizeof speedup_text, "%.2fx%s", speedup,
+                  match ? "" : " MISMATCH");
+    const std::uint32_t n = shape.groups * shape.group_size;
+    table.add_row({std::to_string(shape.groups),
+                   std::to_string(shape.group_size),
+                   std::to_string(shape.machines), std::to_string(n),
+                   std::to_string(seeds), std::to_string(formed),
+                   format_double(formed_per_sec, 0), format_double(p50, 0),
+                   format_double(p99, 0),
+                   std::to_string(static_cast<long long>(pool_ms)),
+                   speedup_text});
+
+    JsonValue row = JsonValue::object();
+    row.set("groups", JsonValue(std::uint64_t{shape.groups}));
+    row.set("group_size", JsonValue(std::uint64_t{shape.group_size}));
+    row.set("machines", JsonValue(std::uint64_t{shape.machines}));
+    row.set("n", JsonValue(std::uint64_t{n}));
+    row.set("seeds", JsonValue(std::uint64_t{seeds}));
+    row.set("formed", JsonValue(formed));
+    row.set("formed_per_sec", JsonValue(formed_per_sec));
+    row.set("reconfig_p50_ticks", JsonValue(p50));
+    row.set("reconfig_p99_ticks", JsonValue(p99));
+    row.set("reconfig_samples", JsonValue(std::uint64_t{latency.count()}));
+    row.set("accepted_writes", JsonValue(accepted));
+    row.set("divergences", JsonValue(divergences));
+    row.set("violations", JsonValue(violations));
+    row.set("serial_ms", JsonValue(serial_ms));
+    row.set("pool_ms", JsonValue(pool_ms));
+    row.set("speedup", JsonValue(speedup));
+    row.set("digests_match", JsonValue(match));
+    rows.push_back(std::move(row));
+  }
+
+  result.set("rows", std::move(rows));
+  result.set("deterministic", JsonValue(deterministic));
+  result.set("clean", JsonValue(clean));
+  std::printf("%s\n", table.to_string().c_str());
+  if (!deterministic) {
+    std::puts("FAIL: pooled digests diverge from the serial pass");
+  } else if (!clean) {
+    std::puts("FAIL: a consistent protocol produced divergences/violations");
+  } else {
+    std::puts(
+        "Per-seed digests identical between passes; every group audit clean.");
+  }
+  emit_bench_result("shards", result);
+  return deterministic && clean ? 0 : 1;
+}

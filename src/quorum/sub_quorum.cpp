@@ -8,14 +8,15 @@ namespace dynvote {
 QuorumCalculus::QuorumCalculus(ProcessSet core, std::size_t min_quorum,
                                bool linear_tie_break)
     : admitted_(core), all_(std::move(core)), min_quorum_(min_quorum),
-      linear_tie_break_(linear_tie_break) {
+      linear_tie_break_(linear_tie_break), same_core_(true) {
   ensure(min_quorum_ >= 1, "Min_Quorum must be at least 1");
 }
 
 QuorumCalculus::QuorumCalculus(ProcessSet admitted, ProcessSet all,
                                std::size_t min_quorum, bool linear_tie_break)
     : admitted_(std::move(admitted)), all_(std::move(all)),
-      min_quorum_(min_quorum), linear_tie_break_(linear_tie_break) {
+      min_quorum_(min_quorum), linear_tie_break_(linear_tie_break),
+      same_core_(admitted_ == all_) {
   ensure(min_quorum_ >= 1, "Min_Quorum must be at least 1");
   ensure(admitted_.is_subset_of(all_), "W must be a subset of W ∪ A");
 }
@@ -32,13 +33,21 @@ bool QuorumCalculus::unconditional(const ProcessSet& T) const {
 
 bool QuorumCalculus::sub_quorum(const ProcessSet& S,
                                 const ProcessSet& T) const {
-  if (!meets_min_quorum(T)) return false;
-  if (T.contains_majority_of(S)) return true;
-  if (linear_tie_break_ && T.contains_exact_half_of(S) &&
+  // Each clause below is one ProcessSet intersection walk; at four-digit
+  // n the walks dominate, so overlaps are computed once and shared:
+  // |T ∩ S| serves both the majority and the exact-half clause, and when
+  // W == W∪A the clause-1 overlap doubles as the clause-2c overlap.
+  const std::size_t admitted_overlap = T.intersection_size(admitted_);
+  if (admitted_overlap < min_quorum_) return false;  // clause 1
+  const std::size_t prev_overlap = T.intersection_size(S);
+  if (2 * prev_overlap > S.size()) return true;  // clause 2a
+  if (linear_tie_break_ && !S.empty() && 2 * prev_overlap == S.size() &&
       tie_break_favors(S, T)) {
-    return true;
+    return true;  // clause 2b (a real previous quorum, split exactly)
   }
-  return unconditional(T);
+  const std::size_t all_overlap =
+      same_core_ ? admitted_overlap : T.intersection_size(all_);
+  return all_overlap + min_quorum_ > all_.size();  // clause 2c
 }
 
 bool QuorumCalculus::sub_quorum(const std::optional<ProcessSet>& S,

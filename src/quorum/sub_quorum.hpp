@@ -75,6 +75,10 @@ class QuorumCalculus {
   ProcessSet all_;       // W ∪ A
   std::size_t min_quorum_;
   bool linear_tie_break_;
+  /// W == W∪A (every static-core calculus). Lets sub_quorum reuse the
+  /// clause-1 overlap for clause 2c instead of walking T ∩ W∪A again —
+  /// at four-digit n each walk is the dominant cost of the predicate.
+  bool same_core_;
 };
 
 /// Property 1 of the scheme (paper 4.1): Sub_Quorum(S,T) implies S and T

@@ -1,0 +1,58 @@
+#include "shard/shard_map.hpp"
+
+#include "util/ensure.hpp"
+
+namespace dynvote::shard {
+
+namespace {
+
+/// ceil(s * 2^32 / n) in plain 64-bit arithmetic: the smallest value of
+/// the hash's top 32 bits that lands in shard s.
+std::uint64_t first_top_of(std::uint64_t s, std::uint32_t n) {
+  const std::uint64_t scaled = s << 32;
+  return scaled / n + (scaled % n != 0 ? 1 : 0);
+}
+
+}  // namespace
+
+std::uint64_t key_hash64(std::string_view data) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  // Avalanche finalizer (xor-shift / multiply): without it, short keys
+  // leave the high bits of FNV-1a nearly constant and whole hash ranges
+  // receive no keys at all.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+ShardMap::ShardMap(std::uint32_t num_shards) : num_shards_(num_shards) {
+  ensure(num_shards_ > 0, "ShardMap: need at least one shard");
+}
+
+std::uint32_t ShardMap::shard_of(std::string_view key) const noexcept {
+  // Scale the hash's top 32 bits into [0, num_shards): monotone in the
+  // hash, so shard boundaries are the equal division points of the hash
+  // space (at 2^32 granularity), and no 128-bit arithmetic is needed.
+  const std::uint64_t top = key_hash64(key) >> 32;
+  return static_cast<std::uint32_t>((top * num_shards_) >> 32);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ShardMap::range_of(
+    std::uint32_t shard) const {
+  ensure(shard < num_shards_, "ShardMap: shard out of range");
+  const std::uint64_t first = first_top_of(shard, num_shards_) << 32;
+  const std::uint64_t last =
+      shard + 1 == num_shards_
+          ? ~std::uint64_t{0}
+          : (first_top_of(shard + 1, num_shards_) << 32) - 1;
+  return {first, last};
+}
+
+}  // namespace dynvote::shard

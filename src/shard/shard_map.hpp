@@ -1,0 +1,48 @@
+// ShardMap: deterministic key -> group routing for the sharded service.
+//
+// The production deployment the paper's service targets (ROADMAP north
+// star) runs one primary-component group per key range. This map
+// partitions the 64-bit hash space of keys into `num_shards` equal
+// contiguous ranges; a key belongs to the shard whose range contains its
+// routing hash. Range partitioning (rather than `hash % n`) keeps the
+// mapping monotone in the hash, which is what lets shard counts be
+// documented as key *ranges* and compared across configurations.
+//
+// Everything here is pure and deterministic: the same key maps to the
+// same shard on every platform and every run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace dynvote::shard {
+
+/// The routing hash: FNV-1a 64 followed by a 64-bit avalanche
+/// finalizer. Raw FNV-1a values are numerically clustered for short
+/// keys (the high bits barely move), which starves equal hash ranges;
+/// the finalizer spreads keys uniformly across the 64-bit space.
+/// Exposed so tests can pin routing expectations.
+[[nodiscard]] std::uint64_t key_hash64(std::string_view data) noexcept;
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint32_t num_shards);
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return num_shards_;
+  }
+
+  /// The shard whose hash range contains `key`.
+  [[nodiscard]] std::uint32_t shard_of(std::string_view key) const noexcept;
+
+  /// The hash range [first, last] covered by `shard` (inclusive upper
+  /// bound so the top shard can cover 2^64 - 1).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> range_of(
+      std::uint32_t shard) const;
+
+ private:
+  std::uint32_t num_shards_;
+};
+
+}  // namespace dynvote::shard

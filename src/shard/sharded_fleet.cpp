@@ -1,0 +1,257 @@
+#include "shard/sharded_fleet.hpp"
+
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace dynvote::shard {
+
+/// Per-group observer that closes the group's open reconfiguration
+/// window on the first formation after a fleet fault.
+struct ShardedFleet::GroupFormationObserver final : ProtocolObserver {
+  GroupFormationObserver(ShardedFleet* fleet, std::uint32_t group)
+      : fleet(fleet), group(group) {}
+
+  void on_formed(SimTime time, ProcessId, const Session&, int) override {
+    fleet->note_formed(group, time);
+  }
+
+  ShardedFleet* fleet;
+  std::uint32_t group;
+};
+
+ShardedFleet::~ShardedFleet() = default;
+
+ShardedFleet::ShardedFleet(ShardedFleetOptions options)
+    : options_(options), sim_(options.sim) {
+  ensure(options_.num_groups > 0, "ShardedFleet: need at least one group");
+  ensure(options_.group_size > 0, "ShardedFleet: need group_size >= 1");
+  ensure(options_.group_size <= options_.num_machines,
+         "ShardedFleet: a group's replicas must fit on distinct machines");
+  sim_.trace().set_capacity(options_.trace_capacity);
+  metrics_observer_ = std::make_unique<MetricsObserver>(sim_.metrics());
+  machine_replicas_.resize(options_.num_machines);
+
+  groups_.reserve(options_.num_groups);
+  for (std::uint32_t g = 0; g < options_.num_groups; ++g) {
+    Group group;
+    for (std::uint32_t i = 0; i < options_.group_size; ++i) {
+      const ProcessId p = replica_id(g, i);
+      group.members.insert(p);
+      machine_replicas_[machine_of(g, i)].push_back(p);
+    }
+    group.checker = std::make_unique<ConsistencyChecker>(
+        group.members,
+        /*seed_initial=*/options_.kind != ProtocolKind::kStaticMajority);
+    group.formation_observer =
+        std::make_unique<GroupFormationObserver>(this, g);
+    group.observers = std::make_unique<MultiObserver>();
+    group.observers->add(group.checker.get());
+    group.observers->add(group.formation_observer.get());
+    group.observers->add(metrics_observer_.get());
+
+    DvConfig config;
+    config.core = group.members;
+    config.min_quorum = options_.min_quorum;
+    config.persistence.cross_check = options_.persistence_cross_check;
+    for (ProcessId p : group.members) {
+      auto node = make_protocol(options_.kind, sim_, p, config);
+      node->set_observer(group.observers.get());
+      sim_.add_node(std::move(node));
+    }
+    groups_.push_back(std::move(group));
+  }
+  // The oracle must subscribe after every node exists, so each view it
+  // announces finds a registered receiver.
+  oracle_ = std::make_unique<MembershipOracle>(sim_, options_.membership);
+}
+
+ProcessId ShardedFleet::replica_id(std::uint32_t group,
+                                   std::uint32_t index) const {
+  ensure(group < options_.num_groups && index < options_.group_size,
+         "replica_id out of range");
+  return ProcessId{group * options_.group_size + index};
+}
+
+std::uint32_t ShardedFleet::machine_of(std::uint32_t group,
+                                       std::uint32_t index) const {
+  // Rotating placement: member i of group g lands on machine (g + i) mod
+  // M. Within one group the machines are distinct (group_size <= M), and
+  // consecutive groups are shifted by one, so any machine cut splits
+  // different groups at different member offsets — the correlated but
+  // non-identical failure pattern a real fleet produces.
+  return (group + index) % options_.num_machines;
+}
+
+const ProcessSet& ShardedFleet::group_members(std::uint32_t group) const {
+  ensure(group < groups_.size(), "group out of range");
+  return groups_[group].members;
+}
+
+const std::vector<ProcessId>& ShardedFleet::machine_replicas(
+    std::uint32_t machine) const {
+  ensure(machine < machine_replicas_.size(), "machine out of range");
+  return machine_replicas_[machine];
+}
+
+void ShardedFleet::start() {
+  merge_fleet();
+  settle();
+}
+
+void ShardedFleet::partition_fleet(const MachinePartition& sides) {
+  std::vector<bool> seen(options_.num_machines, false);
+  std::size_t covered = 0;
+  for (const auto& side : sides) {
+    for (const std::uint32_t m : side) {
+      ensure(m < options_.num_machines, "partition_fleet: unknown machine");
+      ensure(!seen[m], "partition_fleet: machine on two sides");
+      seen[m] = true;
+      ++covered;
+    }
+  }
+  ensure(covered == options_.num_machines,
+         "partition_fleet: sides must cover every machine");
+
+  // side_of[machine] -> side index.
+  std::vector<std::uint32_t> side_of(options_.num_machines, 0);
+  for (std::uint32_t s = 0; s < sides.size(); ++s) {
+    for (const std::uint32_t m : sides[s]) side_of[m] = s;
+  }
+
+  std::vector<std::vector<ProcessSet>> per_group(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    std::vector<ProcessSet> components(sides.size());
+    for (std::uint32_t i = 0; i < options_.group_size; ++i) {
+      components[side_of[machine_of(g, i)]].insert(replica_id(g, i));
+    }
+    for (ProcessSet& component : components) {
+      if (!component.empty()) per_group[g].push_back(std::move(component));
+    }
+  }
+  apply_components(std::move(per_group));
+}
+
+void ShardedFleet::merge_fleet() {
+  std::vector<std::vector<ProcessSet>> per_group(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    per_group[g].push_back(groups_[g].members);
+  }
+  apply_components(std::move(per_group));
+}
+
+void ShardedFleet::apply_components(
+    std::vector<std::vector<ProcessSet>> per_group) {
+  // One network call for the whole correlated fault: every group's
+  // components land in the same topology change, exactly as one fleet
+  // event would. Components never span groups, so the shared oracle
+  // announces views drawn from single groups only.
+  std::vector<ProcessSet> all;
+  for (const auto& components : per_group) {
+    all.insert(all.end(), components.begin(), components.end());
+  }
+  const SimTime now = sim_.now();
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].last_components != per_group[g]) {
+      groups_[g].reconfig_pending_since = now;
+      groups_[g].last_components = std::move(per_group[g]);
+    }
+  }
+  sim_.set_components(all);
+}
+
+void ShardedFleet::mark_groups_on_machine_pending(std::uint32_t machine) {
+  const SimTime now = sim_.now();
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    for (std::uint32_t i = 0; i < options_.group_size; ++i) {
+      if (machine_of(g, i) == machine) {
+        groups_[g].reconfig_pending_since = now;
+        break;
+      }
+    }
+  }
+}
+
+void ShardedFleet::crash_machine(std::uint32_t machine) {
+  ensure(machine < options_.num_machines, "unknown machine");
+  mark_groups_on_machine_pending(machine);
+  for (const ProcessId p : machine_replicas_[machine]) sim_.crash(p);
+}
+
+void ShardedFleet::recover_machine(std::uint32_t machine) {
+  ensure(machine < options_.num_machines, "unknown machine");
+  mark_groups_on_machine_pending(machine);
+  for (const ProcessId p : machine_replicas_[machine]) sim_.recover(p);
+  // A recovered replica comes back in its own singleton component;
+  // reapply every group's intended layout so it rejoins its group
+  // (unchanged groups diff equal and stay out of the latency sample).
+  std::vector<std::vector<ProcessSet>> per_group(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    per_group[g] = groups_[g].last_components;
+    if (per_group[g].empty()) per_group[g].push_back(groups_[g].members);
+  }
+  apply_components(std::move(per_group));
+}
+
+void ShardedFleet::settle(std::size_t max_events) {
+  sim_.run_to_quiescence(max_events);
+  ensure(sim_.queue().empty(),
+         "settle: event budget exhausted with events still pending "
+         "(runaway schedule)");
+}
+
+ProtocolNode& ShardedFleet::protocol(std::uint32_t group,
+                                     std::uint32_t index) {
+  auto* node = dynamic_cast<ProtocolNode*>(&sim_.node(replica_id(group, index)));
+  ensure(node != nullptr, "node is not a protocol instance");
+  return *node;
+}
+
+ConsistencyChecker& ShardedFleet::checker(std::uint32_t group) {
+  ensure(group < groups_.size(), "group out of range");
+  return *groups_[group].checker;
+}
+
+std::uint64_t ShardedFleet::total_formed_sessions() const {
+  std::uint64_t total = 0;
+  for (const Group& group : groups_) {
+    total += group.checker->formed_session_count();
+  }
+  return total;
+}
+
+std::uint32_t ShardedFleet::groups_with_live_primary() {
+  std::uint32_t count = 0;
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    for (std::uint32_t i = 0; i < options_.group_size; ++i) {
+      const ProcessId p = replica_id(g, i);
+      if (sim_.network().alive(p) && protocol(g, i).is_primary()) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Violation> ShardedFleet::check_all_groups(
+    std::size_t order_check_limit) const {
+  std::vector<Violation> out;
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    for (Violation v : groups_[g].checker->check_all(order_check_limit)) {
+      v.detail = "group " + std::to_string(g) + ": " + v.detail;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+void ShardedFleet::note_formed(std::uint32_t group, SimTime time) {
+  Group& g = groups_[group];
+  if (!g.reconfig_pending_since) return;
+  reconfig_latencies_.push_back(
+      static_cast<double>(time - *g.reconfig_pending_since));
+  g.reconfig_pending_since.reset();
+}
+
+}  // namespace dynvote::shard

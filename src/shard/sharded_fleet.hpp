@@ -1,0 +1,189 @@
+// ShardedFleet: many primary-component groups over one shared simulator.
+//
+// The paper maintains one consistent primary component per group; a
+// deployment (ROADMAP north star, open item 1) runs hundreds of such
+// groups — one per key range — over a shared fleet of machines, each
+// machine participating in many groups at once. This class is that
+// composition root:
+//
+//   * one sim::Simulator carries every group's traffic and one
+//     MembershipOracle serves them all — the oracle announces views per
+//     changed component, and fleet faults are always translated to
+//     per-group component lists, so a component never spans groups and
+//     every view a protocol node sees is drawn from its own group;
+//   * each group is an independent protocol instance set (one
+//     ProtocolNode per replica, its own DvConfig core and its own
+//     ConsistencyChecker) — the consistency guarantee is per group, the
+//     simulation substrate is shared;
+//   * a *machine* hosts one replica of every group placed on it; fleet
+//     faults (partition, crash) hit machines, and therefore hit all
+//     hosted groups at once — the correlated-failure regime the
+//     multi-group evaluations in PAPERS.md use;
+//   * replica ProcessIds are assigned densely in registration order
+//     (group-major), which keeps ProcessSet bitset widths proportional
+//     to the fleet size and the network's compact-slot tables exact.
+//
+// Reconfiguration latency: whenever a fleet fault changes a group's
+// component layout, the group is marked pending; the first subsequent
+// session formation in that group closes the window and records
+// (formation time - fault time) as one latency sample. bench_shards
+// reports the p99 of these samples across all groups and seeds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dv/service.hpp"
+#include "harness/checker.hpp"
+#include "harness/events.hpp"
+#include "membership/membership_oracle.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace dynvote::shard {
+
+struct ShardedFleetOptions {
+  /// Number of independent primary-component groups (= shards).
+  std::uint32_t num_groups = 16;
+  /// Replicas per group. Must not exceed num_machines, so a group's
+  /// replicas land on distinct machines.
+  std::uint32_t group_size = 3;
+  /// Physical hosts. Fleet faults (partitions, crashes) are expressed in
+  /// machines; every group with replicas on both sides of a cut splits.
+  std::uint32_t num_machines = 8;
+  ProtocolKind kind = ProtocolKind::kOptimized;
+  /// Min_Quorum applied to every group's DvConfig.
+  std::size_t min_quorum = 1;
+  sim::SimulatorOptions sim;
+  MembershipOptions membership;
+  /// Ring-buffer capacity of the structured trace. Bounded by default:
+  /// every fleet fault records one topology event per live component,
+  /// and a sharded fleet has hundreds of those.
+  std::size_t trace_capacity = 4096;
+  /// Debug replay audit of the persistence layer (expensive; off for
+  /// fleet-scale runs, bench_persistence measures its cost).
+  bool persistence_cross_check = false;
+};
+
+class ShardedFleet {
+ public:
+  /// A fleet-level partition: disjoint sets of machine indices. Must
+  /// cover every machine exactly once (so the induced per-group
+  /// component lists are total and deterministic).
+  using MachinePartition = std::vector<std::vector<std::uint32_t>>;
+
+  explicit ShardedFleet(ShardedFleetOptions options);
+  ~ShardedFleet();  // out of line: GroupFormationObserver is incomplete here
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] std::uint32_t num_groups() const noexcept {
+    return options_.num_groups;
+  }
+  [[nodiscard]] std::uint32_t group_size() const noexcept {
+    return options_.group_size;
+  }
+  [[nodiscard]] std::uint32_t num_machines() const noexcept {
+    return options_.num_machines;
+  }
+  /// Total replica processes (= num_groups * group_size).
+  [[nodiscard]] std::uint32_t fleet_n() const noexcept {
+    return options_.num_groups * options_.group_size;
+  }
+
+  // -- topology of the fleet ---------------------------------------------------
+
+  /// The replica ProcessId of member `index` of `group`.
+  [[nodiscard]] ProcessId replica_id(std::uint32_t group,
+                                     std::uint32_t index) const;
+  /// The machine hosting member `index` of `group`.
+  [[nodiscard]] std::uint32_t machine_of(std::uint32_t group,
+                                         std::uint32_t index) const;
+  [[nodiscard]] const ProcessSet& group_members(std::uint32_t group) const;
+  /// All replicas hosted on `machine`, across groups.
+  [[nodiscard]] const std::vector<ProcessId>& machine_replicas(
+      std::uint32_t machine) const;
+
+  // -- fleet faults ------------------------------------------------------------
+
+  /// Connects every group into one component and settles: the usual way
+  /// to start (never merges across groups).
+  void start();
+
+  /// Applies a machine-level cut: every group is split into one
+  /// component per side that hosts at least one of its replicas.
+  void partition_fleet(const MachinePartition& sides);
+
+  /// Heals the fleet: every group back to one full component.
+  void merge_fleet();
+
+  void crash_machine(std::uint32_t machine);
+  void recover_machine(std::uint32_t machine);
+
+  /// Runs until no events remain; throws if the event budget trips.
+  void settle(std::size_t max_events = sim::EventQueue::kDefaultMaxEvents);
+
+  // -- queries -----------------------------------------------------------------
+
+  [[nodiscard]] ProtocolNode& protocol(std::uint32_t group,
+                                       std::uint32_t index);
+  [[nodiscard]] PrimaryComponentService service(std::uint32_t group,
+                                                std::uint32_t index) {
+    return PrimaryComponentService(protocol(group, index));
+  }
+  [[nodiscard]] ConsistencyChecker& checker(std::uint32_t group);
+
+  /// Distinct formed sessions summed over all groups.
+  [[nodiscard]] std::uint64_t total_formed_sessions() const;
+
+  /// Groups that currently have at least one member with Is_Primary.
+  [[nodiscard]] std::uint32_t groups_with_live_primary();
+
+  /// Consistency violations across all groups, each prefixed with its
+  /// group id. Empty for the consistent protocols, always.
+  [[nodiscard]] std::vector<Violation> check_all_groups(
+      std::size_t order_check_limit = 400) const;
+
+  /// Reconfiguration-latency samples (virtual ticks), in the order the
+  /// formations closed them. Deterministic for a fixed seed.
+  [[nodiscard]] const std::vector<double>& reconfig_latencies() const noexcept {
+    return reconfig_latencies_;
+  }
+
+ private:
+  friend struct GroupFormationObserver;
+
+  struct GroupFormationObserver;
+
+  struct Group {
+    ProcessSet members;
+    std::unique_ptr<ConsistencyChecker> checker;
+    std::unique_ptr<GroupFormationObserver> formation_observer;
+    std::unique_ptr<MultiObserver> observers;
+    /// Component layout last applied for this group (what the next
+    /// fault is diffed against to detect a reconfiguration).
+    std::vector<ProcessSet> last_components;
+    std::optional<SimTime> reconfig_pending_since;
+  };
+
+  /// Applies per-group component lists in ONE network call (so one
+  /// topology change covers the whole correlated fault) and opens a
+  /// reconfiguration window for every group whose layout changed.
+  void apply_components(std::vector<std::vector<ProcessSet>> per_group);
+  void mark_groups_on_machine_pending(std::uint32_t machine);
+  void note_formed(std::uint32_t group, SimTime time);
+
+  ShardedFleetOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<MetricsObserver> metrics_observer_;
+  std::vector<Group> groups_;
+  std::vector<std::vector<ProcessId>> machine_replicas_;
+  std::vector<double> reconfig_latencies_;
+  std::unique_ptr<MembershipOracle> oracle_;
+};
+
+}  // namespace dynvote::shard

@@ -1,0 +1,87 @@
+#include "shard/sharded_kv.hpp"
+
+#include "util/ensure.hpp"
+
+namespace dynvote::shard {
+
+ShardedKv::ShardedKv(ShardedFleet& fleet)
+    : fleet_(fleet), map_(fleet.num_groups()) {
+  replicas_.resize(fleet_.num_groups());
+  for (std::uint32_t g = 0; g < fleet_.num_groups(); ++g) {
+    replicas_[g].reserve(fleet_.group_size());
+    for (std::uint32_t i = 0; i < fleet_.group_size(); ++i) {
+      replicas_[g].push_back(
+          std::make_unique<app::Replica>(fleet_.service(g, i)));
+    }
+  }
+}
+
+app::Replica* ShardedKv::primary_replica(std::uint32_t group) const {
+  for (const auto& replica : replicas_[group]) {
+    if (replica->in_primary()) return replica.get();
+  }
+  return nullptr;
+}
+
+std::optional<app::Version> ShardedKv::write(const std::string& key,
+                                             std::string value) {
+  app::Replica* replica = primary_replica(group_of(key));
+  if (replica == nullptr) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  auto version = replica->write(key, std::move(value));
+  if (version) ++accepted_;
+  return version;
+}
+
+std::optional<std::string> ShardedKv::read(const std::string& key) const {
+  const app::Replica* replica = primary_replica(group_of(key));
+  if (replica == nullptr) return std::nullopt;
+  return replica->read(key);
+}
+
+app::Replica& ShardedKv::replica(std::uint32_t group, std::uint32_t index) {
+  ensure(group < replicas_.size() && index < replicas_[group].size(),
+         "replica out of range");
+  return *replicas_[group][index];
+}
+
+void ShardedKv::sync_primaries() {
+  for (auto& group : replicas_) {
+    // All-pairs inside the (small) primary membership: after one round
+    // every member holds the per-key maximum version.
+    for (auto& target : group) {
+      if (!target->in_primary()) continue;
+      for (const auto& donor : group) {
+        if (donor.get() == target.get() || !donor->in_primary()) continue;
+        target->sync_from(*donor);
+      }
+    }
+  }
+}
+
+std::vector<app::Divergence> ShardedKv::audit() const {
+  std::vector<app::Divergence> out;
+  for (const auto& group : replicas_) {
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        for (const auto& [key, mine] : group[a]->data()) {
+          const auto& theirs_map = group[b]->data();
+          const auto it = theirs_map.find(key);
+          if (it == theirs_map.end()) continue;
+          if (mine.version == it->second.version &&
+              mine.value != it->second.value) {
+            out.push_back(app::Divergence{
+                key, group[a]->process(), group[b]->process(),
+                "same version " + mine.version.to_string() +
+                    " with different values (split-brain stamp)"});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynvote::shard

@@ -1,0 +1,80 @@
+// ShardedKv: the replicated key-value store spread over many groups.
+//
+// The paper's intended integration (app/replicated_kv) binds one
+// primary-copy replica group to one primary-component service; this
+// layer runs one such group per key range: a ShardMap routes each key to
+// a group of the ShardedFleet, and the group's app::Replica instances
+// accept the write iff that group currently has a primary component.
+//
+// The guarantee is exactly the per-group one — writes to one key range
+// are totally ordered by that range's primary components — and the
+// audit checks it per group: with a consistent protocol no two replicas
+// of a group ever hold the same version stamp with different values, no
+// matter how many correlated fleet faults hit all groups at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/replicated_kv.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/sharded_fleet.hpp"
+
+namespace dynvote::shard {
+
+class ShardedKv {
+ public:
+  /// One replica per (group, member) of the fleet; routes by a ShardMap
+  /// over the fleet's group count. The fleet outlives the store.
+  explicit ShardedKv(ShardedFleet& fleet);
+
+  [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
+
+  /// The group (= shard) serving `key`.
+  [[nodiscard]] std::uint32_t group_of(const std::string& key) const {
+    return map_.shard_of(key);
+  }
+
+  /// Writes through the first in-primary replica of the key's group;
+  /// nullopt when the group currently has no primary (the shard is
+  /// unavailable, not inconsistent).
+  std::optional<app::Version> write(const std::string& key, std::string value);
+
+  /// Reads from the first in-primary replica of the key's group.
+  [[nodiscard]] std::optional<std::string> read(const std::string& key) const;
+
+  [[nodiscard]] app::Replica& replica(std::uint32_t group,
+                                      std::uint32_t index);
+
+  /// State transfer inside every group's current primary component:
+  /// member replicas converge to the highest version per key. Call after
+  /// the fleet settles on new primaries.
+  void sync_primaries();
+
+  /// Split-brain audit over every group: two replicas of one group
+  /// holding the same version of a key with different values means two
+  /// primaries minted the same stamp. Consistent protocols produce none.
+  [[nodiscard]] std::vector<app::Divergence> audit() const;
+
+  [[nodiscard]] std::uint64_t accepted_writes() const noexcept {
+    return accepted_;
+  }
+  [[nodiscard]] std::uint64_t rejected_writes() const noexcept {
+    return rejected_;
+  }
+
+ private:
+  [[nodiscard]] app::Replica* primary_replica(std::uint32_t group) const;
+
+  ShardedFleet& fleet_;
+  ShardMap map_;
+  // replicas_[group][member index]
+  std::vector<std::vector<std::unique_ptr<app::Replica>>> replicas_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dynvote::shard

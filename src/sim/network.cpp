@@ -28,49 +28,55 @@ Network::Network(EventQueue& queue, Rng rng, Logger& logger,
   ensure(latency_.min <= latency_.max, "latency model min > max");
 }
 
-std::size_t Network::tri_index(ProcessId a, ProcessId b) {
-  std::uint64_t lo = a.value();
-  std::uint64_t hi = b.value();
+std::size_t Network::tri_index(std::uint32_t slot_a, std::uint32_t slot_b) {
+  std::uint64_t lo = slot_a;
+  std::uint64_t hi = slot_b;
   if (lo > hi) std::swap(lo, hi);
   return static_cast<std::size_t>(hi * (hi - 1) / 2 + lo);
 }
 
-std::size_t Network::directed_index(ProcessId from, ProcessId to) {
-  return tri_index(from, to) * 2 + (from.value() > to.value() ? 1 : 0);
+std::size_t Network::directed_index(std::uint32_t slot_from,
+                                    std::uint32_t slot_to) {
+  return tri_index(slot_from, slot_to) * 2 + (slot_from > slot_to ? 1 : 0);
 }
 
 void Network::add_process(ProcessId p) {
   ensure(!known(p), "process added twice");
   processes_.insert(p);
-  if (p.value() >= entries_.size()) {
-    entries_.resize(p.value() + 1);
-    // Append pair slots for every pair whose larger id is <= the new
-    // maximum. Fresh slots start at epoch 0 / no tail, exactly the state
-    // an untouched pair had under the old sparse maps.
-    const std::uint64_t max_id = entries_.size() - 1;
-    const std::size_t pair_slots =
-        static_cast<std::size_t>(max_id * (max_id + 1) / 2);
-    link_epochs_.resize(pair_slots, 0);
-    fifo_tails_.resize(pair_slots * 2, 0);
+  const auto slot = static_cast<std::uint32_t>(entries_.size());
+  if (p.value() < kDenseDirectLimit) {
+    if (p.value() >= slot_direct_.size()) {
+      slot_direct_.resize(p.value() + 1, kNoSlot);
+    }
+    slot_direct_[p.value()] = slot;
+  } else {
+    slot_big_.emplace(p.value(), slot);
   }
-  ProcessEntry& entry = entries_[p.value()];
-  entry.registered = true;
+  entries_.emplace_back();
+  // Append pair entries for every pair whose larger slot is the new one.
+  // Fresh entries start at epoch 0 / no tail, exactly the state an
+  // untouched pair had before the process existed.
+  const std::size_t pair_slots =
+      static_cast<std::size_t>(std::uint64_t{slot} * (slot + 1) / 2);
+  link_epochs_.resize(pair_slots, 0);
+  fifo_tails_.resize(pair_slots * 2, 0);
+  ProcessEntry& entry = entries_[slot];
   entry.alive = true;
   entry.component = next_component_++;
 }
 
 void Network::set_delivery_handler(ProcessId p,
                                    std::function<void(Envelope)> handler) {
-  ensure(known(p), "unknown process");
-  entries_[p.value()].handler = std::move(handler);
+  const std::uint32_t slot = slot_of(p);
+  ensure(slot != kNoSlot, "unknown process");
+  entries_[slot].handler = std::move(handler);
 }
 
 std::vector<Network::ConnectivityEntry> Network::snapshot_connectivity()
     const {
   std::vector<ConnectivityEntry> out(entries_.size());
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    out[i] = ConnectivityEntry{entries_[i].registered && entries_[i].alive,
-                               entries_[i].component};
+    out[i] = ConnectivityEntry{entries_[i].alive, entries_[i].component};
   }
   return out;
 }
@@ -87,7 +93,7 @@ void Network::set_components(const std::vector<ProcessSet>& groups) {
   const auto before = snapshot_connectivity();
   for (const ProcessSet& group : groups) {
     const std::uint32_t component = next_component_++;
-    for (ProcessId p : group) entries_[p.value()].component = component;
+    for (ProcessId p : group) entries_[slot_of(p)].component = component;
   }
   bump_epochs_for_disconnections(before);
   prune_stale_fifo_tails();
@@ -106,14 +112,15 @@ void Network::merge_all() {
 }
 
 void Network::set_alive(ProcessId p, bool alive) {
-  ensure(known(p), "unknown process");
-  if (entries_[p.value()].alive == alive) return;
+  const std::uint32_t slot = slot_of(p);
+  ensure(slot != kNoSlot, "unknown process");
+  if (entries_[slot].alive == alive) return;
   const auto before = snapshot_connectivity();
-  entries_[p.value()].alive = alive;
+  entries_[slot].alive = alive;
   if (alive) {
     // A recovering process comes back in its own fresh component; a merge
     // (set_components) reconnects it explicitly.
-    entries_[p.value()].component = next_component_++;
+    entries_[slot].component = next_component_++;
   }
   bump_epochs_for_disconnections(before);
   prune_stale_fifo_tails();
@@ -132,21 +139,24 @@ void Network::set_alive(ProcessId p, bool alive) {
 }
 
 bool Network::alive(ProcessId p) const {
-  return known(p) && entries_[p.value()].alive;
+  const std::uint32_t slot = slot_of(p);
+  return slot != kNoSlot && entries_[slot].alive;
 }
 
 bool Network::connected(ProcessId a, ProcessId b) const {
   if (a == b) return alive(a);
-  if (!known(a) || !known(b)) return false;
-  const ProcessEntry& ea = entries_[a.value()];
-  const ProcessEntry& eb = entries_[b.value()];
+  const std::uint32_t sa = slot_of(a);
+  const std::uint32_t sb = slot_of(b);
+  if (sa == kNoSlot || sb == kNoSlot) return false;
+  const ProcessEntry& ea = entries_[sa];
+  const ProcessEntry& eb = entries_[sb];
   return ea.alive && eb.alive && ea.component == eb.component;
 }
 
 std::vector<ProcessSet> Network::live_components() const {
   std::map<std::uint32_t, ProcessSet> by_component;
   for (ProcessId p : processes_) {
-    const ProcessEntry& entry = entries_[p.value()];
+    const ProcessEntry& entry = entries_[slot_of(p)];
     if (entry.alive) by_component[entry.component].insert(p);
   }
   std::vector<ProcessSet> out;
@@ -160,9 +170,9 @@ std::vector<ProcessSet> Network::live_components() const {
 ProcessSet Network::component_of(ProcessId p) const {
   ProcessSet out;
   if (!alive(p)) return out;
-  const std::uint32_t component = entries_[p.value()].component;
+  const std::uint32_t component = entries_[slot_of(p)].component;
   for (ProcessId q : processes_) {
-    const ProcessEntry& entry = entries_[q.value()];
+    const ProcessEntry& entry = entries_[slot_of(q)];
     if (entry.alive && entry.component == component) out.insert(q);
   }
   return out;
@@ -170,16 +180,25 @@ ProcessSet Network::component_of(ProcessId p) const {
 
 void Network::bump_epochs_for_disconnections(
     const std::vector<ConnectivityEntry>& before) {
-  auto was_connected = [&](ProcessId a, ProcessId b) {
-    const ConnectivityEntry& ea = before[a.value()];
-    const ConnectivityEntry& eb = before[b.value()];
-    return ea.alive && eb.alive && ea.component == eb.component;
-  };
-  for (ProcessId a : processes_) {
-    for (ProcessId b : processes_) {
-      if (!(a < b)) continue;
-      if (was_connected(a, b) && !connected(a, b)) {
-        const std::size_t tri = tri_index(a, b);
+  // Only a pair that was connected before can disconnect, and
+  // was-connected means "same old component" — so instead of scanning
+  // all n^2 pairs (prohibitive for a sharded fleet at four-digit n with
+  // hundreds of small components), walk each old component and check
+  // only its internal pairs. Components are grouped in slot order, so
+  // the bump order per pair is deterministic.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> old_components;
+  for (std::uint32_t slot = 0; slot < before.size(); ++slot) {
+    if (before[slot].alive) {
+      old_components[before[slot].component].push_back(slot);
+    }
+  }
+  for (const auto& [component, slots] : old_components) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const ProcessEntry& ea = entries_[slots[i]];
+      for (std::size_t j = i + 1; j < slots.size(); ++j) {
+        const ProcessEntry& eb = entries_[slots[j]];
+        if (ea.alive && eb.alive && ea.component == eb.component) continue;
+        const std::size_t tri = tri_index(slots[i], slots[j]);
         ++link_epochs_[tri];
         // The cut loses everything in flight on this pair, so the FIFO
         // tail must not constrain the healed link: without this clear the
@@ -213,7 +232,7 @@ void Network::record_topology(std::uint64_t cause) {
     const std::uint64_t eid = trace_.record(std::move(event));
     // Remember, per process, the topology event that last reshaped its
     // component: the membership oracle's next view install cites it.
-    for (ProcessId p : component) entries_[p.value()].topo_eid = eid;
+    for (ProcessId p : component) entries_[slot_of(p)].topo_eid = eid;
   }
 }
 
@@ -222,24 +241,27 @@ void Network::notify_topology_changed() {
 }
 
 std::uint64_t Network::lamport_tick(ProcessId p) {
-  ensure(known(p), "unknown process");
-  return ++entries_[p.value()].lamport;
+  const std::uint32_t slot = slot_of(p);
+  ensure(slot != kNoSlot, "unknown process");
+  return ++entries_[slot].lamport;
 }
 
 std::uint64_t Network::lamport(ProcessId p) const {
-  return known(p) ? entries_[p.value()].lamport : 0;
+  const std::uint32_t slot = slot_of(p);
+  return slot != kNoSlot ? entries_[slot].lamport : 0;
 }
 
 std::uint64_t Network::last_topology_eid(ProcessId p) const {
-  return known(p) ? entries_[p.value()].topo_eid : 0;
+  const std::uint32_t slot = slot_of(p);
+  return slot != kNoSlot ? entries_[slot].topo_eid : 0;
 }
 
 std::uint64_t Network::link_epoch(ProcessId a, ProcessId b) const {
   // Loopback has no link to partition: a broadcast's self-send must not
-  // index the pair table (tri_index(p, p) for the largest id lands one
+  // index the pair table (tri_index(s, s) for the largest slot lands one
   // past the end of link_epochs_).
   if (a == b) return 0;
-  return link_epochs_[tri_index(a, b)];
+  return link_epochs_[tri_index(slot_of(a), slot_of(b))];
 }
 
 void Network::add_topology_observer(TopologyObserver observer) {
@@ -315,9 +337,10 @@ void Network::send(Envelope env) {
         latency_.min + rng_.next_below(latency_.max - latency_.min + 1);
     when = queue_.now() + latency;
     // Reliable FIFO channel: per ordered pair, deliveries never reorder.
-    SimTime& slot = fifo_tails_[directed_index(env.from, env.to)];
-    if (slot != 0) when = std::max(when, slot - 1);
-    slot = when + 1;
+    SimTime& tail =
+        fifo_tails_[directed_index(slot_of(env.from), slot_of(env.to))];
+    if (tail != 0) when = std::max(when, tail - 1);
+    tail = when + 1;
   }
   queue_.schedule_at(when, [this, env = std::move(env), epoch]() mutable {
     deliver(std::move(env), epoch);
@@ -333,7 +356,7 @@ void Network::deliver(Envelope env, std::uint64_t epoch_at_send) {
     count_drop(env, obs::DropCause::kLinkEpoch);
     return;
   }
-  ProcessEntry& receiver = entries_[env.to.value()];
+  ProcessEntry& receiver = entries_[slot_of(env.to)];
   ensure(static_cast<bool>(receiver.handler), "no delivery handler installed");
   delivered_.increment();
   // Lamport receive rule: the receiver's clock jumps past everything the
@@ -367,7 +390,10 @@ NetworkStats Network::stats() const {
 }
 
 std::optional<SimTime> Network::fifo_tail(ProcessId from, ProcessId to) const {
-  const std::size_t index = directed_index(from, to);
+  const std::uint32_t sf = slot_of(from);
+  const std::uint32_t st = slot_of(to);
+  if (sf == kNoSlot || st == kNoSlot || sf == st) return std::nullopt;
+  const std::size_t index = directed_index(sf, st);
   if (index >= fifo_tails_.size() || fifo_tails_[index] == 0) {
     return std::nullopt;
   }

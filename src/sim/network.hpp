@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -145,7 +146,6 @@ class Network {
 
  private:
   struct ProcessEntry {
-    bool registered = false;
     bool alive = true;
     std::uint32_t component = 0;
     std::function<void(Envelope)> handler;
@@ -161,20 +161,45 @@ class Network {
     std::uint32_t component = 0;
   };
 
-  // Routing state is dense-indexed by raw ProcessId value: entries_[p]
-  // for per-process state, and flat triangular arrays for per-pair state.
-  // The pair index tri(a,b) = max(a,b)·(max(a,b)−1)/2 + min(a,b) depends
-  // only on the pair, never on capacity, so add_process only ever
-  // *appends* slots — existing indices (and in-flight epoch captures)
+  // Routing state is indexed by COMPACT slot, not by raw ProcessId value:
+  // add_process assigns each process the next dense slot (registration
+  // order), entries_[slot] holds per-process state, and flat triangular
+  // arrays hold per-pair state. Raw ids resolve to slots through a small
+  // direct-lookup vector (raw < kDenseDirectLimit) or a hash map above
+  // it, so registering a sparse four-digit-plus id costs one mapping
+  // entry instead of max-raw-id-sized arrays (the pair tables would grow
+  // quadratically in the largest raw id otherwise).
+  //
+  // The pair index tri(a,b) = max(a,b)·(max(a,b)−1)/2 + min(a,b) over
+  // SLOTS depends only on the pair, never on capacity, and a new process
+  // always takes the largest slot, so add_process only ever *appends*
+  // pair entries — existing indices (and in-flight epoch captures)
   // survive growth untouched.
 
+  /// Raw ids below this bound resolve through the direct-lookup vector;
+  /// larger (sparse) ids go through the hash map.
+  static constexpr std::uint32_t kDenseDirectLimit = 4096;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Compact slot of `p`, or kNoSlot if never registered.
+  [[nodiscard]] std::uint32_t slot_of(ProcessId p) const {
+    const std::uint32_t raw = p.value();
+    if (raw < kDenseDirectLimit) {
+      return raw < slot_direct_.size() ? slot_direct_[raw] : kNoSlot;
+    }
+    const auto it = slot_big_.find(raw);
+    return it == slot_big_.end() ? kNoSlot : it->second;
+  }
+
   [[nodiscard]] bool known(ProcessId p) const {
-    return p.value() < entries_.size() && entries_[p.value()].registered;
+    return slot_of(p) != kNoSlot;
   }
   /// Unordered-pair index into link_epochs_. Precondition: a != b.
-  [[nodiscard]] static std::size_t tri_index(ProcessId a, ProcessId b);
+  [[nodiscard]] static std::size_t tri_index(std::uint32_t slot_a,
+                                             std::uint32_t slot_b);
   /// Directed-pair index into fifo_tails_. Precondition: from != to.
-  [[nodiscard]] static std::size_t directed_index(ProcessId from, ProcessId to);
+  [[nodiscard]] static std::size_t directed_index(std::uint32_t slot_from,
+                                                  std::uint32_t slot_to);
 
   [[nodiscard]] std::vector<ConnectivityEntry> snapshot_connectivity() const;
   void bump_epochs_for_disconnections(
@@ -199,7 +224,9 @@ class Network {
   obs::TraceSink& trace_;
   obs::MetricsRegistry& metrics_;
   ProcessSet processes_;
-  std::vector<ProcessEntry> entries_;  // indexed by raw ProcessId
+  std::vector<std::uint32_t> slot_direct_;  // raw id -> slot, raw < limit
+  std::unordered_map<std::uint32_t, std::uint32_t> slot_big_;
+  std::vector<ProcessEntry> entries_;  // indexed by compact slot
   std::vector<std::uint64_t> link_epochs_;  // indexed by tri_index
   // FIFO tails, indexed by directed_index. Stored as tail+1 so 0 means
   // "no outstanding constraint" without a side table.

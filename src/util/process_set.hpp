@@ -5,12 +5,16 @@
 // Representation is hybrid. The sorted flat vector is always maintained —
 // it gives deterministic iteration, lexicographic ordering, and the
 // index_of positions the optimized protocol's knowledge arrays key on.
-// When every member id is below kSmallIdLimit (true for every scenario
-// the harness generates today), a 256-bit inline bitset shadows the
-// vector, and the set predicates the Sub_Quorum hot path hammers —
-// contains / intersection_size / is_subset_of / majority tests — run as
-// a handful of AND+popcount word ops instead of O(n) merge walks. Sets
-// with larger ids transparently fall back to the vector algorithms.
+// A bitset shadows the vector: ids below kSmallIdLimit live in a 256-bit
+// inline array (no heap traffic for every scenario the single-group
+// harness generates), and ids in [kSmallIdLimit, kDynamicIdLimit) live in
+// a dynamically sized extension word vector, so the set predicates the
+// Sub_Quorum hot path hammers — contains / intersection_size /
+// is_subset_of / majority tests — run as AND+popcount word ops at any
+// four-digit fleet size, including MIXED pairs where one operand spills
+// past the inline limit and the other does not. Only sets holding an id
+// >= kDynamicIdLimit (2^20 — far past any simulated fleet) fall back to
+// the O(n) sorted-vector merge walks.
 #pragma once
 
 #include <array>
@@ -26,6 +30,24 @@
 
 namespace dynvote {
 
+namespace detail {
+
+/// Sum of popcount(a[i] & b[i]) over two word ranges (the inline words
+/// and the extension words of a ProcessSet pair). Dispatched once at
+/// startup: an AVX2 nibble-LUT kernel where the CPU supports it, a
+/// multi-accumulator scalar walk otherwise. Scalar popcount is
+/// single-port throughput-bound, so wide walks (four-digit fleets) need
+/// the vector kernel to stay near the small-set latency.
+using IntersectPopcountFn = std::size_t (*)(const std::uint64_t* a1,
+                                            const std::uint64_t* b1,
+                                            std::size_t n1,
+                                            const std::uint64_t* a2,
+                                            const std::uint64_t* b2,
+                                            std::size_t n2);
+extern IntersectPopcountFn intersect_popcount;
+
+}  // namespace detail
+
 /// An immutable-by-convention, sorted, duplicate-free set of ProcessIds.
 ///
 /// This is the "membership" type used everywhere: views, quorums, session
@@ -35,8 +57,15 @@ class ProcessSet {
   using const_iterator = std::vector<ProcessId>::const_iterator;
 
   /// Ids below this bound are tracked in the inline bitset (one 64-bit
-  /// word per 64 ids).
+  /// word per 64 ids, no heap allocation).
   static constexpr std::uint32_t kSmallIdLimit = 256;
+
+  /// Ids below this bound are tracked word-wise (inline words below
+  /// kSmallIdLimit, heap extension words above it). A set holding an id
+  /// at or past this limit would need a pathologically wide bitset
+  /// (the width is max_id / 64 words), so it degrades to the
+  /// sorted-vector merge walks instead.
+  static constexpr std::uint32_t kDynamicIdLimit = 1u << 20;
 
   ProcessSet() = default;
 
@@ -51,11 +80,12 @@ class ProcessSet {
   [[nodiscard]] static ProcessSet of(std::initializer_list<std::uint32_t> raw);
 
   [[nodiscard]] bool contains(ProcessId p) const {
-    if (small_) {
-      if (p.value() >= kSmallIdLimit) return false;
-      return (bits_[p.value() >> 6] >> (p.value() & 63)) & 1;
-    }
-    return contains_slow(p);
+    if (huge_) return contains_slow(p);
+    const std::uint32_t v = p.value();
+    if (v < kSmallIdLimit) return (bits_[v >> 6] >> (v & 63)) & 1;
+    const std::size_t w = (v - kSmallIdLimit) >> 6;
+    if (w >= ext_bits_.size()) return false;
+    return (ext_bits_[w] >> (v & 63)) & 1;
   }
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
   [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
@@ -70,47 +100,94 @@ class ProcessSet {
   [[nodiscard]] ProcessSet set_difference(const ProcessSet& other) const;
 
   // The Sub_Quorum hot-path predicates are defined inline so the bitset
-  // fast path compiles down to a few word ops at the call site.
+  // fast path compiles down to word ops at the call site. Each one walks
+  // the inline words of both operands and then the common prefix of the
+  // extension words; a pure-inline pair never touches the heap vectors.
 
   [[nodiscard]] std::size_t intersection_size(const ProcessSet& other) const {
-    if (small_ && other.small_) {
-      std::size_t count = 0;
-      for (std::size_t w = 0; w < kWords; ++w) {
-        count += static_cast<std::size_t>(
-            std::popcount(bits_[w] & other.bits_[w]));
-      }
-      return count;
+    if (huge_ || other.huge_) return intersection_size_slow(other);
+    const std::size_t common =
+        ext_bits_.size() < other.ext_bits_.size() ? ext_bits_.size()
+                                                  : other.ext_bits_.size();
+    if (common >= kSimdWordThreshold) {
+      return detail::intersect_popcount(bits_.data(), other.bits_.data(),
+                                        kWords, ext_bits_.data(),
+                                        other.ext_bits_.data(), common);
     }
-    return intersection_size_slow(other);
+    // Four independent accumulators: popcount has multi-cycle latency, so
+    // a single `count +=` chain serializes the walk and a 1024-id set
+    // pays ~4x the 256-id latency instead of ~4x the throughput cost.
+    std::size_t c0 = 0;
+    std::size_t c1 = 0;
+    std::size_t c2 = 0;
+    std::size_t c3 = 0;
+    static_assert(kWords == 4);
+    c0 = static_cast<std::size_t>(std::popcount(bits_[0] & other.bits_[0]));
+    c1 = static_cast<std::size_t>(std::popcount(bits_[1] & other.bits_[1]));
+    c2 = static_cast<std::size_t>(std::popcount(bits_[2] & other.bits_[2]));
+    c3 = static_cast<std::size_t>(std::popcount(bits_[3] & other.bits_[3]));
+    const std::uint64_t* a = ext_bits_.data();
+    const std::uint64_t* b = other.ext_bits_.data();
+    std::size_t w = 0;
+    for (; w + 4 <= common; w += 4) {
+      c0 += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+      c1 += static_cast<std::size_t>(std::popcount(a[w + 1] & b[w + 1]));
+      c2 += static_cast<std::size_t>(std::popcount(a[w + 2] & b[w + 2]));
+      c3 += static_cast<std::size_t>(std::popcount(a[w + 3] & b[w + 3]));
+    }
+    for (; w < common; ++w) {
+      c0 += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    }
+    return (c0 + c1) + (c2 + c3);
   }
 
   [[nodiscard]] bool intersects(const ProcessSet& other) const {
-    if (small_ && other.small_) {
-      std::uint64_t any = 0;
-      for (std::size_t w = 0; w < kWords; ++w) any |= bits_[w] & other.bits_[w];
-      return any != 0;
+    if (huge_ || other.huge_) return intersects_slow(other);
+    std::uint64_t any0 = (bits_[0] & other.bits_[0]) | (bits_[1] & other.bits_[1]);
+    std::uint64_t any1 = (bits_[2] & other.bits_[2]) | (bits_[3] & other.bits_[3]);
+    const std::size_t common =
+        ext_bits_.size() < other.ext_bits_.size() ? ext_bits_.size()
+                                                  : other.ext_bits_.size();
+    const std::uint64_t* a = ext_bits_.data();
+    const std::uint64_t* b = other.ext_bits_.data();
+    std::size_t w = 0;
+    for (; w + 2 <= common; w += 2) {
+      any0 |= a[w] & b[w];
+      any1 |= a[w + 1] & b[w + 1];
     }
-    return intersects_slow(other);
+    if (w < common) any0 |= a[w] & b[w];
+    return (any0 | any1) != 0;
   }
 
   [[nodiscard]] bool is_subset_of(const ProcessSet& other) const {
-    if (small_ && other.small_) {
-      std::uint64_t stray = 0;
-      for (std::size_t w = 0; w < kWords; ++w) {
-        stray |= bits_[w] & ~other.bits_[w];
-      }
-      return stray == 0;
+    if (huge_ || other.huge_) return is_subset_of_slow(other);
+    // Extension words are trimmed (no trailing zeros), so a wider
+    // extension means a member beyond anything `other` can hold.
+    if (ext_bits_.size() > other.ext_bits_.size()) return false;
+    std::uint64_t stray = 0;
+    for (std::size_t w = 0; w < kWords; ++w) {
+      stray |= bits_[w] & ~other.bits_[w];
     }
-    return is_subset_of_slow(other);
+    for (std::size_t w = 0; w < ext_bits_.size(); ++w) {
+      stray |= ext_bits_[w] & ~other.ext_bits_[w];
+    }
+    return stray == 0;
   }
 
-  /// True iff this set contains a strict majority of `of`.
+  /// True iff this set contains a strict majority of `of`. An empty `of`
+  /// has no majority to contain: the predicate is false (0 > 0 fails),
+  /// matching the paper-4.1 reading that succession clauses apply to a
+  /// real previous quorum.
   [[nodiscard]] bool contains_majority_of(const ProcessSet& of) const {
     return 2 * intersection_size(of) > of.size();
   }
 
-  /// True iff this set contains exactly half of `of` (|of| even).
+  /// True iff this set contains exactly half of `of` (|of| even and
+  /// nonzero). The tie-break clause 2b of paper 4.1 splits a REAL
+  /// previous quorum into halves; an empty `of` must not satisfy it
+  /// vacuously (2*0 == 0), so it is guarded to false.
   [[nodiscard]] bool contains_exact_half_of(const ProcessSet& of) const {
+    if (of.empty()) return false;
     return 2 * intersection_size(of) == of.size();
   }
 
@@ -143,32 +220,55 @@ class ProcessSet {
   /// Renders as "{p0,p1,p4}".
   [[nodiscard]] std::string to_string() const;
 
-  /// True iff the inline-bitset fast path covers this set (every member
-  /// id < kSmallIdLimit). Exposed for the property tests that pin the
+  /// True iff the word-wise fast path covers this set (every member id
+  /// < kDynamicIdLimit). Exposed for the property tests that pin the
   /// bitset and vector paths to each other.
-  [[nodiscard]] bool uses_bitset() const noexcept { return small_; }
+  [[nodiscard]] bool uses_bitset() const noexcept { return !huge_; }
+
+  /// True iff the set fits the inline words alone (every member id
+  /// < kSmallIdLimit): no heap storage behind the bitset. Erasing the
+  /// last id >= kSmallIdLimit restores this state.
+  [[nodiscard]] bool uses_inline_bits() const noexcept {
+    return !huge_ && ext_bits_.empty();
+  }
 
  private:
   static constexpr std::size_t kWords = kSmallIdLimit / 64;
 
-  /// Recomputes small_ and bits_ from members_ (after bulk mutation).
+  /// Extension width (in words) at which intersection_size hands the
+  /// whole walk to the dispatched detail::intersect_popcount kernel.
+  /// Below it, the inline multi-accumulator walk wins: the indirect call
+  /// plus the vector horizontal reduction cost about as much as the
+  /// scalar walk saves until the set spans several thousand ids
+  /// (measured crossover ~32 words on AVX2 hardware).
+  static constexpr std::size_t kSimdWordThreshold = 32;
+
+  /// Recomputes huge_, bits_ and ext_bits_ from members_ (after bulk
+  /// mutation).
   void rebuild_bits();
-  // Sorted-vector fallbacks for sets with ids >= kSmallIdLimit.
+  /// Drops trailing all-zero extension words so ext_bits_.size() encodes
+  /// the highest occupied word (the is_subset_of width shortcut and
+  /// uses_inline_bits depend on this invariant).
+  void trim_ext_bits();
+  /// Rebuilds members_ (ascending) from bits_ + ext_bits_.
+  void rebuild_members_from_bits();
+  // Sorted-vector fallbacks for sets with ids >= kDynamicIdLimit.
   [[nodiscard]] bool contains_slow(ProcessId p) const;
   [[nodiscard]] std::size_t intersection_size_slow(const ProcessSet& other) const;
   [[nodiscard]] bool intersects_slow(const ProcessSet& other) const;
   [[nodiscard]] bool is_subset_of_slow(const ProcessSet& other) const;
   /// Builds a set from an already sorted, duplicate-free vector.
   [[nodiscard]] static ProcessSet from_sorted(std::vector<ProcessId> ids);
-  /// Appends the members encoded in `bits` (sorted ascending) to a set.
-  static void expand_bits(const std::array<std::uint64_t, kWords>& bits,
-                          ProcessSet& out);
 
   std::vector<ProcessId> members_;
-  // Shadow bitset of members_, valid iff small_. All-zero when !small_ so
-  // value semantics (copies, moves) never expose stale words.
+  // Shadow bitset of members_, valid iff !huge_. bits_ holds ids below
+  // kSmallIdLimit; ext_bits_[w] holds ids [kSmallIdLimit + 64w,
+  // kSmallIdLimit + 64(w+1)), trimmed of trailing zero words. Both are
+  // all-zero/empty when huge_ so value semantics (copies, moves) never
+  // expose stale words.
   std::array<std::uint64_t, kWords> bits_{};
-  bool small_ = true;
+  std::vector<std::uint64_t> ext_bits_;
+  bool huge_ = false;
 };
 
 [[nodiscard]] inline std::string to_string(const ProcessSet& s) {

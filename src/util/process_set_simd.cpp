@@ -1,0 +1,71 @@
+// AVX2 kernel for ProcessSet's intersection popcount. Compiled with
+// -mavx2 (this file only — see src/CMakeLists.txt); selected at startup
+// by the runtime dispatcher in process_set.cpp iff the CPU supports
+// AVX2, so the library binary stays runnable on baseline x86-64.
+//
+// The kernel is the nibble-LUT popcount (Mula): two vpshufb table
+// lookups per 256-bit lane plus vpsadbw to widen byte counts to 64-bit
+// accumulators. Scalar popcnt retires one word per cycle on a single
+// port; this retires four words per op, which is what keeps the
+// widest walks (several thousand ids) near the small-set throughput.
+#include "util/process_set.hpp"
+
+#if defined(DYNVOTE_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace dynvote::detail {
+
+namespace {
+
+/// Per-byte popcount of `v` via the 16-entry nibble lookup table.
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+}  // namespace
+
+std::size_t intersect_popcount_avx2(const std::uint64_t* a1,
+                                    const std::uint64_t* b1, std::size_t n1,
+                                    const std::uint64_t* a2,
+                                    const std::uint64_t* b2, std::size_t n2) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t tail = 0;
+  const auto run = [&](const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+      const __m256i bytes = popcount_bytes(_mm256_and_si256(va, vb));
+      // vpsadbw collapses every 8 byte-counts into a 64-bit lane each
+      // iteration, so the byte accumulator can never saturate.
+      acc = _mm256_add_epi64(acc,
+                             _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+    }
+    for (; w < n; ++w) {
+      tail += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    }
+  };
+  run(a1, b1, n1);
+  run(a2, b2, n2);
+  const __m128i halves = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                       _mm256_extracti128_si256(acc, 1));
+  const std::uint64_t lanes =
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(halves)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(halves, 1));
+  return tail + static_cast<std::size_t>(lanes);
+}
+
+}  // namespace dynvote::detail
+
+#endif  // DYNVOTE_SIMD_AVX2 && __AVX2__

@@ -42,12 +42,21 @@ ProcessSet from_model(const Model& m) {
 }
 
 /// Random model set. `max_id` above ProcessSet::kSmallIdLimit produces
-/// sets that straddle the boundary, forcing the sorted-vector fallback.
+/// sets that straddle the inline boundary (dynamic extension words);
+/// above kDynamicIdLimit they straddle the word-wise limit entirely,
+/// forcing the sorted-vector fallback.
 Model random_model(Rng& rng, std::uint32_t max_id) {
   Model m;
   const std::uint64_t count = rng.next_below(12);
   for (std::uint64_t i = 0; i < count; ++i) {
-    m.insert(static_cast<std::uint32_t>(rng.next_below(max_id)));
+    // Concentrate a quarter of the draws just below max_id so the
+    // boundary tiers actually produce members past the boundary they
+    // probe (a uniform draw over [0, 2^20) almost never lands there).
+    const bool high = max_id > 64 && rng.next_below(4) == 0;
+    const std::uint32_t id =
+        high ? max_id - 1 - static_cast<std::uint32_t>(rng.next_below(64))
+             : static_cast<std::uint32_t>(rng.next_below(max_id));
+    m.insert(id);
   }
   return m;
 }
@@ -84,7 +93,12 @@ void expect_matches_model(const ProcessSet& s, const Model& m) {
   const bool all_small = std::all_of(m.begin(), m.end(), [](std::uint32_t id) {
     return id < ProcessSet::kSmallIdLimit;
   });
-  EXPECT_EQ(s.uses_bitset(), all_small);
+  const bool all_dynamic =
+      std::all_of(m.begin(), m.end(), [](std::uint32_t id) {
+        return id < ProcessSet::kDynamicIdLimit;
+      });
+  EXPECT_EQ(s.uses_inline_bits(), all_small);
+  EXPECT_EQ(s.uses_bitset(), all_dynamic);
   if (m.empty()) {
     EXPECT_FALSE(s.max_member().has_value());
   } else {
@@ -95,9 +109,16 @@ void expect_matches_model(const ProcessSet& s, const Model& m) {
 
 TEST(ProcessSetProperty, PredicatesAgreeWithModelAcrossTheBitsetBoundary) {
   Rng rng(20260805);
-  // max_id 40: pure-bitset pairs. max_id 320: pairs where one or both
-  // sets spill past kSmallIdLimit and take the sorted-vector fallback.
-  for (const std::uint32_t max_id : {40u, 320u}) {
+  // max_id 40: pure-inline pairs. 320: pairs straddling kSmallIdLimit
+  // (mixed inline/extension widths, still word-wise). 2000: four-digit
+  // ids across multiple extension words. 5000: wide enough (> 32
+  // extension words on both operands) that intersection_size dispatches
+  // to the detail::intersect_popcount kernel — on AVX2 hardware this
+  // round pins the vector kernel to the model. kDynamicIdLimit + 300:
+  // pairs where one or both sets hold a huge id and take the merge-walk
+  // fallback, including mixed fast/slow operand pairs.
+  for (const std::uint32_t max_id :
+       {40u, 320u, 2000u, 5000u, ProcessSet::kDynamicIdLimit + 300u}) {
     for (int round = 0; round < 500; ++round) {
       const Model ma = random_model(rng, max_id);
       const Model mb = random_model(rng, max_id);
@@ -112,8 +133,10 @@ TEST(ProcessSetProperty, PredicatesAgreeWithModelAcrossTheBitsetBoundary) {
                 std::includes(mb.begin(), mb.end(), ma.begin(), ma.end()));
       EXPECT_EQ(a.contains_majority_of(b),
                 2 * model_intersection(ma, mb).size() > mb.size());
+      // The empty-set guard: exact-half of nothing is false, not vacuous.
       EXPECT_EQ(a.contains_exact_half_of(b),
-                2 * model_intersection(ma, mb).size() == mb.size());
+                !mb.empty() &&
+                    2 * model_intersection(ma, mb).size() == mb.size());
       for (const std::uint32_t probe : {std::uint32_t{0}, max_id / 2, max_id}) {
         EXPECT_EQ(a.contains(ProcessId(probe)), ma.count(probe) != 0);
       }
@@ -129,11 +152,22 @@ TEST(ProcessSetProperty, InsertEraseMaintainTheBitsetIncrementally) {
   Rng rng(77);
   Model m;
   ProcessSet s;
-  for (int step = 0; step < 2000; ++step) {
-    // Cross kSmallIdLimit in both directions: an insert of a large id
-    // must drop the set to the vector representation, and erasing the
-    // last large id must restore the bitset.
-    const auto id = static_cast<std::uint32_t>(rng.next_below(300));
+  for (int step = 0; step < 3000; ++step) {
+    // Cross both representation boundaries in both directions: inserting
+    // an id >= kSmallIdLimit must grow the extension words, inserting an
+    // id >= kDynamicIdLimit must drop the set to the merge-walk
+    // representation, and erasing the last id past each boundary must
+    // restore the faster representation.
+    std::uint32_t id;
+    const std::uint64_t tier = rng.next_below(8);
+    if (tier < 5) {
+      id = static_cast<std::uint32_t>(rng.next_below(300));
+    } else if (tier < 7) {
+      id = static_cast<std::uint32_t>(256 + rng.next_below(1200));
+    } else {
+      id = ProcessSet::kDynamicIdLimit - 2 +
+           static_cast<std::uint32_t>(rng.next_below(4));
+    }
     if (rng.next_bool(0.6)) {
       EXPECT_EQ(s.insert(ProcessId(id)), m.insert(id).second);
     } else {
@@ -141,6 +175,68 @@ TEST(ProcessSetProperty, InsertEraseMaintainTheBitsetIncrementally) {
     }
     expect_matches_model(s, m);
   }
+}
+
+TEST(ProcessSetProperty, MixedWidthPairsKeepTheWordWiseFastPath) {
+  // Regression for the mixed-representation degradation: one operand
+  // holding a single id >= kSmallIdLimit used to force BOTH operands of
+  // every predicate onto the O(n) merge walk. Both operands must stay on
+  // the bitset, and the predicates must agree with first principles.
+  ProcessSet small = ProcessSet::of({1, 3, 200});
+  ProcessSet wide = ProcessSet::of({1, 3, 200, 1000});
+  EXPECT_TRUE(small.uses_bitset());
+  EXPECT_TRUE(small.uses_inline_bits());
+  EXPECT_TRUE(wide.uses_bitset());
+  EXPECT_FALSE(wide.uses_inline_bits());
+
+  EXPECT_EQ(small.intersection_size(wide), 3u);
+  EXPECT_EQ(wide.intersection_size(small), 3u);
+  EXPECT_TRUE(small.is_subset_of(wide));
+  EXPECT_FALSE(wide.is_subset_of(small));
+  EXPECT_TRUE(small.intersects(wide));
+  EXPECT_TRUE(wide.contains_majority_of(small));
+  EXPECT_FALSE(ProcessSet::of({1000}).contains_majority_of(small));
+}
+
+TEST(ProcessSetProperty, ErasingTheLastBigIdRestoresTheInlinePath) {
+  // The satellite regression pinning uses_bitset()/uses_inline_bits()
+  // across the 256 boundary: insert big id -> erase it -> fast path
+  // restored, with no stale extension words left behind.
+  ProcessSet s = ProcessSet::of({0, 5, 255});
+  EXPECT_TRUE(s.uses_inline_bits());
+  EXPECT_TRUE(s.insert(ProcessId(256)));
+  EXPECT_FALSE(s.uses_inline_bits());
+  EXPECT_TRUE(s.uses_bitset());
+  EXPECT_TRUE(s.insert(ProcessId(4096)));
+  EXPECT_TRUE(s.erase(ProcessId(4096)));
+  EXPECT_FALSE(s.uses_inline_bits()) << "p256 still holds an extension word";
+  EXPECT_TRUE(s.erase(ProcessId(256)));
+  EXPECT_TRUE(s.uses_inline_bits()) << "last big id erased";
+  EXPECT_EQ(s, ProcessSet::of({0, 5, 255}));
+
+  // Same round trip across the kDynamicIdLimit boundary.
+  EXPECT_TRUE(s.insert(ProcessId(ProcessSet::kDynamicIdLimit)));
+  EXPECT_FALSE(s.uses_bitset());
+  EXPECT_TRUE(s.erase(ProcessId(ProcessSet::kDynamicIdLimit)));
+  EXPECT_TRUE(s.uses_bitset());
+  EXPECT_TRUE(s.uses_inline_bits());
+  EXPECT_EQ(s, ProcessSet::of({0, 5, 255}));
+}
+
+TEST(ProcessSetProperty, DegenerateQuorumPredicatesAreNotVacuouslyTrue) {
+  // Paper 4.1's clause 2b splits a real previous quorum in half; an
+  // empty `of` must not satisfy either succession predicate (2*0 == 0
+  // used to make contains_exact_half_of vacuously true).
+  const ProcessSet empty;
+  const ProcessSet some = ProcessSet::of({0, 1, 2});
+  EXPECT_FALSE(some.contains_exact_half_of(empty));
+  EXPECT_FALSE(some.contains_majority_of(empty));
+  EXPECT_FALSE(empty.contains_exact_half_of(empty));
+  EXPECT_FALSE(empty.contains_majority_of(empty));
+  // Nonempty halves still work.
+  EXPECT_TRUE(ProcessSet::of({0, 1}).contains_exact_half_of(
+      ProcessSet::of({0, 1, 2, 3})));
+  EXPECT_FALSE(empty.contains_exact_half_of(ProcessSet::of({0, 1})));
 }
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,25 @@ TEST(SubQuorum, InfinityHasNoSubQuorum) {
   EXPECT_FALSE(calc.sub_quorum(std::nullopt, ProcessSet::of({0})));
 }
 
+TEST(SubQuorum, DegenerateEmptyPreviousQuorumGrantsNoSuccession) {
+  // The paper-4.1 tie-break (clause 2b) splits a REAL previous quorum in
+  // half. An empty S used to satisfy contains_exact_half_of vacuously
+  // (2*0 == 0); the succession clauses must all fail for it, so the only
+  // way past an empty history is the unconditional clause 2c.
+  const QuorumCalculus calc(kCore5, 2);
+  const ProcessSet empty;
+  // Meets the Min_Quorum floor but neither succession clause vs empty S,
+  // and is too small for the unconditional clause (2 + 2 <= 5).
+  const ProcessSet T = ProcessSet::of({3, 4});
+  EXPECT_FALSE(T.contains_majority_of(empty));
+  EXPECT_FALSE(T.contains_exact_half_of(empty));
+  EXPECT_FALSE(tie_break_favors(empty, T));
+  EXPECT_FALSE(calc.sub_quorum(empty, T));
+  // A component big enough for clause 2c still proceeds regardless of
+  // the degenerate history — that clause is defined to ignore it.
+  EXPECT_TRUE(calc.sub_quorum(empty, ProcessSet::of({0, 1, 2, 3})));
+}
+
 TEST(SubQuorum, MinQuorumFloorBlocksSmallGroups) {
   const QuorumCalculus calc(kCore5, 3);
   // {3,4} is a majority of {2,3,4} but below the Min_Quorum floor.

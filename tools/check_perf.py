@@ -27,6 +27,10 @@ runners is noisy, and the checker's job is to catch the step-function
 regressions a data-structure or algorithm change causes, not 10% jitter.
 Tighten with --tolerance 0.25 on a quiet dedicated box.
 
+A bench result with no committed baseline (a brand-new bench) is
+recorded as the baseline on the spot ("no baseline, recording") and the
+run still exits 0 — commit the recorded file to start its trajectory.
+
 Exit status: 0 = all within band, 1 = regression or mismatch, 2 = usage.
 """
 
@@ -146,9 +150,9 @@ def main() -> int:
         return 0
 
     baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
-    if not baseline_files:
-        print(f"check_perf: no baselines in {args.baselines}; bootstrap with "
-              f"tools/check_perf.py --update", file=sys.stderr)
+    if not baseline_files and not current_files:
+        print(f"check_perf: no baselines in {args.baselines} and no results "
+              f"in {args.results}; run the benches first", file=sys.stderr)
         return 2
 
     failed = False
@@ -179,10 +183,16 @@ def main() -> int:
             print(f"  faster     {line}")
         failed |= report.failed
 
-    extra = [f.name for f in current_files
+    # A bench without a committed baseline (always the case for a brand-new
+    # bench) is neither a failure nor a silent pass: record its first result
+    # as the baseline so the perf trajectory starts in this run, and say so.
+    extra = [f for f in current_files
              if not (args.baselines / f.name).exists()]
-    for name in extra:
-        print(f"note {name}: no baseline yet (add with --update)")
+    for current_path in extra:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        shutil.copy2(current_path, args.baselines / current_path.name)
+        print(f"no baseline, recording: {current_path.name} -> "
+              f"{args.baselines / current_path.name}")
 
     if failed:
         print("check_perf: perf regression or deterministic-output mismatch; "

@@ -80,9 +80,19 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
 
+  # The multi-group shard bench under ASan/UBSan, in quick mode (small
+  # shape, 2 seeds) and with the JSON export disabled so the trimmed
+  # payload cannot clobber the real results/BENCH_shards.json. The
+  # dynamic-bitset property tests (ProcessSetProperty.*, ProcessSet.*)
+  # already ran in the ctest pass above.
+  echo "== bench_shards under ASan/UBSan (quick mode)"
+  env -u DYNVOTE_JSON_DIR DYNVOTE_SHARDS_QUICK=1 build-asan/bench/bench_shards
+
   # ThreadSanitizer over the code that actually runs multithreaded (the
   # sweep pool) plus the persistence suite, whose WAL layer the sweep
-  # workers exercise concurrently. TSan needs its own build tree.
+  # workers exercise concurrently, and the multi-group shard sweep
+  # (SweepShards.*), which runs whole fleets on the pool. TSan needs its
+  # own build tree.
   echo "== sweep-pool + persistence tests under TSan (build-tsan/)"
   if [ -f build-tsan/CMakeCache.txt ]; then
     cmake -B build-tsan -DDYNVOTE_SANITIZE=thread
@@ -91,7 +101,7 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Sweep\.|SweepDeterminism\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
+    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
