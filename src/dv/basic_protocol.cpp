@@ -93,7 +93,13 @@ BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
     : SessionProtocolBase(sim, id, max_phases),
       state_(ProtocolState::initial(config.core, id)),
       config_(std::move(config)),
-      wal_(storage(), &metrics(), kStateKey, id, config_.persistence) {
+      wal_(storage(),
+           config_.registry != nullptr ? config_.registry : &metrics(),
+           kStateKey, id, config_.persistence) {
+  obs::MetricsRegistry& reg =
+      config_.registry != nullptr ? *config_.registry : metrics();
+  ambiguity_gauge_ = &reg.gauge("dv.ambiguous_recorded");
+  ambiguity_ticks_ = &reg.counter("dv.ambiguity_ticks");
   // Durable from birth: a crash before the first session must not erase
   // the fact that a core member once knew (W0, 0).
   wal_.checkpoint(state_);
@@ -238,7 +244,15 @@ void BasicDvProtocol::run_form_step(const PhaseMessages& messages) {
 
 void BasicDvProtocol::record_ambiguity_level() {
   const auto level = static_cast<std::int64_t>(state_.ambiguous.size());
-  metrics().gauge("dv.ambiguous_recorded").set(level);
+  ambiguity_gauge_->set(level);
+  // Time-in-ambiguity: each closed episode (level 0 -> >0 -> 0) adds its
+  // length to the counter; the fleet report divides by sim time.
+  if (last_ambiguity_level_ == 0 && level > 0) {
+    ambiguity_open_since_ = now();
+  } else if (last_ambiguity_level_ > 0 && level == 0) {
+    ambiguity_ticks_->add(now() - ambiguity_open_since_);
+  }
+  last_ambiguity_level_ = level;
   obs::TraceEvent event;
   event.time = now();
   event.kind = obs::TraceEventKind::kAmbiguityRecord;

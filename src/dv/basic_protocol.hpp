@@ -27,6 +27,10 @@
 #include "dv/wal.hpp"
 #include "quorum/sub_quorum.hpp"
 
+namespace dynvote::obs {
+class Gauge;
+}  // namespace dynvote::obs
+
 namespace dynvote {
 
 /// Configuration shared by the dynamic-voting protocol family.
@@ -56,6 +60,13 @@ struct DvConfig {
   /// with checkpoint compaction by default, full snapshot per persist as
   /// the legacy fallback.
   PersistenceOptions persistence;
+
+  /// Where this node's protocol-side instruments land (the dv.storage.*
+  /// WAL counters, the dv.ambiguous_recorded gauge, dv.ambiguity_ticks).
+  /// nullptr = the simulator's fleet-global registry; a sharded fleet
+  /// points every group at its MetricsHub child registry so per-shard
+  /// health is attributable (borrowed; must outlive the node).
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// The values computed at the start of the attempt step (paper 4.3).
@@ -184,6 +195,18 @@ class BasicDvProtocol : public SessionProtocolBase {
  private:
   StepAggregates pending_agg_;
   std::size_t max_ambiguous_recorded_ = 0;
+  /// Cached handles into the registry config_.registry selected — the
+  /// ambiguity level is re-recorded on every state change, and a map
+  /// lookup per call is measurable at fleet scale.
+  obs::Gauge* ambiguity_gauge_ = nullptr;
+  obs::Counter* ambiguity_ticks_ = nullptr;
+  /// Start of the current ambiguous episode (level > 0); meaningful only
+  /// while last_ambiguity_level_ > 0. On the closing transition back to
+  /// level 0 the episode length lands on "dv.ambiguity_ticks"; an episode
+  /// still open at the end of a run is excluded, matching the
+  /// dv.primary_uptime_ticks open-tail convention.
+  SimTime ambiguity_open_since_ = 0;
+  std::int64_t last_ambiguity_level_ = 0;
 };
 
 /// Downcasts a phase bucket to InfoPayloads (phase 0 of the dv family).

@@ -30,7 +30,9 @@ CentralizedDvProtocol::CentralizedDvProtocol(sim::Simulator& sim, ProcessId id,
     : ProtocolNode(sim, id),
       state_(ProtocolState::initial(config.core, id)),
       config_(std::move(config)),
-      wal_(storage(), &metrics(), kStateKey, id, config_.persistence) {
+      wal_(storage(),
+           config_.registry != nullptr ? config_.registry : &metrics(),
+           kStateKey, id, config_.persistence) {
   wal_.checkpoint(state_);
 }
 

@@ -4,22 +4,11 @@
 #include <charconv>
 #include <iterator>
 
+#include "util/ensure.hpp"
+
 namespace dynvote {
 
 namespace {
-
-obs::TraceEventKind kind_from_string(std::string_view s) {
-  using K = obs::TraceEventKind;
-  for (const K k :
-       {K::kMessageSend, K::kMessageDrop, K::kMessageDeliver,
-        K::kTopologyChange, K::kProcessCrash, K::kProcessRecover,
-        K::kViewInstalled, K::kSessionAttempt, K::kSessionFormed,
-        K::kSessionAbort, K::kPrimaryLost, K::kAmbiguityRecord,
-        K::kAmbiguityResolved, K::kAmbiguityAdopted}) {
-    if (to_string(k) == s) return k;
-  }
-  throw JsonError("trace: unknown event kind '" + std::string(s) + "'");
-}
 
 JsonValue process_set_to_json(const ProcessSet& set) {
   JsonValue arr = JsonValue::array();
@@ -112,31 +101,20 @@ JsonValue trace_to_json(const obs::TraceMeta& meta,
   meta_json.set("core", process_set_to_json(meta.core));
   meta_json.set("ambiguity_bound",
                 JsonValue(static_cast<std::uint64_t>(meta.ambiguity_bound)));
+  // Sharded-fleet shape; omitted when zero so single-group traces (the
+  // overwhelmingly common case) serialize byte-identically to before.
+  if (meta.num_groups != 0) {
+    meta_json.set("num_groups",
+                  JsonValue(static_cast<std::uint64_t>(meta.num_groups)));
+    meta_json.set("group_size",
+                  JsonValue(static_cast<std::uint64_t>(meta.group_size)));
+  }
   meta_json.set("overwritten", JsonValue(sink.overwritten()));
 
   JsonValue events = JsonValue::array();
   events.reserve(sink.events().size());
   for (const obs::TraceEvent& event : sink.events()) {
-    JsonValue e = JsonValue::object();
-    e.reserve(10);  // t k a e + up to 7 optional fields, most absent
-    e.set("t", JsonValue(event.time));
-    e.set("k", JsonValue(to_string(event.kind)));
-    e.set("a", JsonValue(static_cast<std::uint64_t>(event.a.value())));
-    // Zero-valued fields are omitted: they are the defaults the loader
-    // restores, and dropping them keeps big traces compact.
-    if (event.b != ProcessId{}) {
-      e.set("b", JsonValue(static_cast<std::uint64_t>(event.b.value())));
-    }
-    if (event.number != 0) e.set("n", JsonValue(event.number));
-    if (event.value != 0) e.set("v", JsonValue(event.value));
-    if (!event.members.empty()) e.set("m", process_set_to_json(event.members));
-    if (!event.detail.empty()) e.set("d", JsonValue(event.detail));
-    // Causal fields. "e" is always present (every recorded event has an
-    // id); the clock and cause keep the zero-omitted convention.
-    e.set("e", JsonValue(event.eid));
-    if (event.lamport != 0) e.set("l", JsonValue(event.lamport));
-    if (event.cause != 0) e.set("c", JsonValue(event.cause));
-    events.push_back(std::move(e));
+    events.push_back(obs::to_json(event));
   }
 
   JsonValue out = JsonValue::object();
@@ -193,6 +171,12 @@ std::string trace_json_string(const obs::TraceMeta& meta,
   append_set(out, meta.core);
   out += ",\"ambiguity_bound\":";
   append_u64(out, meta.ambiguity_bound);
+  if (meta.num_groups != 0) {
+    out += ",\"num_groups\":";
+    append_u64(out, meta.num_groups);
+    out += ",\"group_size\":";
+    append_u64(out, meta.group_size);
+  }
   out += ",\"overwritten\":";
   append_u64(out, sink.overwritten());
   out += "},\"events\":[";
@@ -262,43 +246,53 @@ TraceMetaAndEvents load_trace_json(std::string_view text) {
   if (const JsonValue* ow = meta.find("overwritten")) {
     out.meta.overwritten = ow->as_uint();
   }
+  if (const JsonValue* groups = meta.find("num_groups")) {
+    out.meta.num_groups = static_cast<std::uint32_t>(groups->as_uint());
+    out.meta.group_size =
+        static_cast<std::uint32_t>(meta.at("group_size").as_uint());
+  }
 
   const JsonValue::Array& events = doc.at("events").as_array();
   out.events.reserve(events.size());
   for (const JsonValue& e : events) {
-    obs::TraceEvent event;
-    // One pass over the object instead of a find() per field: every key
-    // is a single character, and a big trace has thousands of events.
-    bool has_t = false, has_k = false, has_a = false, has_e = false;
-    for (const auto& [key, value] : e.as_object()) {
-      if (key.size() != 1) continue;
-      switch (key[0]) {
-        case 't': event.time = value.as_uint(); has_t = true; break;
-        case 'k':
-          event.kind = kind_from_string(value.as_string());
-          has_k = true;
-          break;
-        case 'a':
-          event.a = ProcessId(static_cast<std::uint32_t>(value.as_uint()));
-          has_a = true;
-          break;
-        case 'b':
-          event.b = ProcessId(static_cast<std::uint32_t>(value.as_uint()));
-          break;
-        case 'n': event.number = value.as_int(); break;
-        case 'v': event.value = value.as_uint(); break;
-        case 'm': event.members = process_set_from_json(value); break;
-        case 'd': event.detail = value.as_string(); break;
-        case 'e': event.eid = value.as_uint(); has_e = true; break;
-        case 'l': event.lamport = value.as_uint(); break;
-        case 'c': event.cause = value.as_uint(); break;
-        default: break;
+    out.events.push_back(obs::trace_event_from_json(e));
+  }
+  return out;
+}
+
+TraceMetaAndEvents filter_trace_group(const TraceMetaAndEvents& trace,
+                                      std::uint32_t group) {
+  ensure(trace.meta.group_size != 0,
+         "filter_trace_group: trace has no fleet shape "
+         "(meta.num_groups/group_size)");
+  ensure(group < trace.meta.num_groups,
+         "filter_trace_group: group out of range");
+  const std::uint32_t first = group * trace.meta.group_size;
+  const std::uint32_t last = first + trace.meta.group_size;  // exclusive
+  const auto in_group = [&](std::uint32_t pid) {
+    return pid >= first && pid < last;
+  };
+
+  TraceMetaAndEvents out;
+  out.meta = trace.meta;
+  out.meta.n = trace.meta.group_size;
+  ProcessSet core;
+  for (const ProcessId p : trace.meta.core) {
+    if (in_group(p.value())) core.insert(p);
+  }
+  out.meta.core = std::move(core);
+
+  for (const obs::TraceEvent& event : trace.events) {
+    if (event.kind == obs::TraceEventKind::kTopologyChange) {
+      // Global events carry no acting process; the component's first
+      // member identifies the group (components never span groups).
+      if (event.members.empty() || !in_group(event.members.begin()->value())) {
+        continue;
       }
+    } else if (!in_group(event.a.value())) {
+      continue;
     }
-    if (!has_t || !has_k || !has_a || !has_e) {
-      throw JsonError("trace: event record is missing t, k, a, or e");
-    }
-    out.events.push_back(std::move(event));
+    out.events.push_back(event);
   }
   return out;
 }

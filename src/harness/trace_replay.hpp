@@ -95,4 +95,15 @@ struct TraceMetaAndEvents {
 /// JsonError on schema violations.
 [[nodiscard]] TraceMetaAndEvents load_trace_json(std::string_view text);
 
+/// Restricts a sharded trace (meta.group_size != 0) to one group's
+/// events: process-scoped events whose actor lies in the group's dense
+/// id range [group*group_size, (group+1)*group_size), plus topology
+/// events whose component belongs to the group (components never span
+/// groups). Causal chains survive intact — messages and sessions never
+/// cross groups, so no kept event can cite a dropped one. The returned
+/// meta narrows core/n to the group, which is what makes span folding
+/// and checker replay meaningful on sharded traces (dvtrace --group).
+[[nodiscard]] TraceMetaAndEvents filter_trace_group(
+    const TraceMetaAndEvents& trace, std::uint32_t group);
+
 }  // namespace dynvote

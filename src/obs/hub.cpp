@@ -1,0 +1,48 @@
+#include "obs/hub.hpp"
+
+#include "util/ensure.hpp"
+
+namespace dynvote::obs {
+
+MetricsHub::MetricsHub(std::size_t num_groups) {
+  ensure(num_groups > 0, "MetricsHub: need at least one group");
+  groups_.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    groups_.push_back(std::make_unique<MetricsRegistry>());
+  }
+}
+
+MetricsRegistry& MetricsHub::group(std::size_t group) {
+  ensure(group < groups_.size(), "MetricsHub: group out of range");
+  return *groups_[group];
+}
+
+const MetricsRegistry& MetricsHub::group(std::size_t group) const {
+  ensure(group < groups_.size(), "MetricsHub: group out of range");
+  return *groups_[group];
+}
+
+MetricsRegistry MetricsHub::rollup() const {
+  MetricsRegistry out;
+  for (const auto& child : groups_) out.merge_from(*child);
+  return out;
+}
+
+std::uint64_t MetricsHub::group_counter_sum(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& child : groups_) total += child->counter_value(name);
+  return total;
+}
+
+JsonValue MetricsHub::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("num_groups", JsonValue(std::uint64_t{groups_.size()}));
+  out.set("rollup", rollup().to_json());
+  JsonValue groups = JsonValue::array();
+  groups.reserve(groups_.size());
+  for (const auto& child : groups_) groups.push_back(child->to_json());
+  out.set("groups", std::move(groups));
+  return out;
+}
+
+}  // namespace dynvote::obs

@@ -1,0 +1,59 @@
+// MetricsHub: per-group child registries with a deterministic rollup.
+//
+// A sharded fleet (shard/sharded_fleet.hpp) runs hundreds of independent
+// primary-component groups; one flat MetricsRegistry can say "the fleet
+// formed X quorums" but not *which shard* stalled. The hub owns one
+// child registry per group, indexed by group id, so instrumented code
+// resolves its group's registry once at wiring time and pays the usual
+// cheap instrument-handle increments on the hot path.
+//
+// Rollup determinism: rollup() merges the children into a fresh registry
+// strictly in group-index order — counters summed, gauges max-merged,
+// histograms merged bucket-wise (so fleet p50/p99 come from merged
+// buckets, not averaged percentiles). Group registries are only ever
+// mutated by the simulation that owns them, and sweep-pool cells own
+// their whole fleet, so the rolled-up JSON is byte-identical at any
+// DYNVOTE_THREADS through the pool's index-order reduction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace dynvote::obs {
+
+class MetricsHub {
+ public:
+  explicit MetricsHub(std::size_t num_groups);
+
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return groups_.size();
+  }
+
+  /// The child registry of `group`. References stay valid for the hub's
+  /// lifetime (children are heap-allocated once, never reallocated).
+  [[nodiscard]] MetricsRegistry& group(std::size_t group);
+  [[nodiscard]] const MetricsRegistry& group(std::size_t group) const;
+
+  /// Cross-group rollup, merged in group-index order: counters summed,
+  /// gauges max-merged, histograms merged bucket-wise.
+  [[nodiscard]] MetricsRegistry rollup() const;
+
+  /// Sum of one counter across every group (0 where unregistered) —
+  /// cheaper than a full rollup when one fleet total is needed.
+  [[nodiscard]] std::uint64_t group_counter_sum(std::string_view name) const;
+
+  /// {"num_groups": G, "rollup": {...}, "groups": [{...} per group]}.
+  /// Deterministic: children serialize in index order, instruments in
+  /// name order.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  std::vector<std::unique_ptr<MetricsRegistry>> groups_;
+};
+
+}  // namespace dynvote::obs

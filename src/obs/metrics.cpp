@@ -1,13 +1,15 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace dynvote::obs {
 
 Histogram::Histogram() : buckets_(64, 0) {}
 
 void Histogram::observe(std::uint64_t value) noexcept {
-  if (count_ == 0 || value < min_) min_ = value;
+  if (value < min_) min_ = value;  // kNoMin sentinel: any value is below
   if (value > max_) max_ = value;
   ++count_;
   sum_ += value;
@@ -19,10 +21,55 @@ void Histogram::observe(std::uint64_t value) noexcept {
   buckets_[bucket < buckets_.size() ? bucket : buckets_.size() - 1] += 1;
 }
 
+double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t count, std::uint64_t min,
+                          std::uint64_t max, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count] (1-based): the smallest value with at
+  // least `rank` observations at or below it estimates the quantile.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Bucket bounds: [0, 1] for bucket 0, (2^(i-1), 2^i] above. The
+    // bucket's observations are assumed evenly spread over the span;
+    // interpolate to the position of the target rank.
+    const double lower = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    const double upper = std::ldexp(1.0, static_cast<int>(i == 0 ? 0 : i));
+    const double within = (rank - before) / static_cast<double>(buckets[i]);
+    const double estimate = lower + (upper - lower) * within;
+    return std::clamp(estimate, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(buckets_, count_, min(), max_, q);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  for (std::size_t i = 0; i < buckets_.size() && i < other.buckets_.size();
+       ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
 void Histogram::reset() noexcept {
   count_ = 0;
   sum_ = 0;
-  min_ = 0;
+  min_ = kNoMin;  // back to the no-observations sentinel, not a stale
+                  // (or fake-zero) minimum — merges after a reset must
+                  // treat this histogram as empty
   max_ = 0;
   buckets_.assign(buckets_.size(), 0);
 }
@@ -36,6 +83,18 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).merge_from(c);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).merge_from(g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge_from(h);
+  }
 }
 
 JsonValue MetricsRegistry::to_json() const {
@@ -58,6 +117,20 @@ JsonValue MetricsRegistry::to_json() const {
     entry.set("min", JsonValue(h.min()));
     entry.set("max", JsonValue(h.max()));
     entry.set("mean", JsonValue(h.mean()));
+    if (h.count() != 0) {
+      // Sparse [index, count] pairs: enough for offline quantile
+      // recomputation (histogram_quantile) without 64 mostly-zero
+      // entries per histogram.
+      JsonValue buckets = JsonValue::array();
+      for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+        if (h.buckets()[i] == 0) continue;
+        JsonValue pair = JsonValue::array();
+        pair.push_back(JsonValue(std::uint64_t{i}));
+        pair.push_back(JsonValue(h.buckets()[i]));
+        buckets.push_back(std::move(pair));
+      }
+      entry.set("buckets", std::move(buckets));
+    }
     histograms.set(name, std::move(entry));
   }
   JsonValue out = JsonValue::object();

@@ -30,6 +30,11 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
   void reset() noexcept { value_ = 0; }
 
+  /// Rollup semantics: counts from independent groups add up.
+  void merge_from(const Counter& other) noexcept { value_ += other.value_; }
+
+  friend bool operator==(const Counter&, const Counter&) = default;
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -47,10 +52,29 @@ class Gauge {
   [[nodiscard]] std::int64_t max() const noexcept { return max_; }
   void reset() noexcept { value_ = 0; max_ = 0; }
 
+  /// Rollup semantics: a fleet-level gauge reports the worst (highest)
+  /// group, both for the current level and the high-water mark.
+  void merge_from(const Gauge& other) noexcept {
+    if (other.value_ > value_) value_ = other.value_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  friend bool operator==(const Gauge&, const Gauge&) = default;
+
  private:
   std::int64_t value_ = 0;
   std::int64_t max_ = 0;
 };
+
+/// Quantile estimate over power-of-two buckets (the Histogram layout:
+/// bucket 0 covers [0, 1], bucket i covers (2^(i-1), 2^i]) by linear
+/// interpolation inside the bucket holding the target rank. Exposed as a
+/// free function so offline consumers (dvtrace fleet) can recompute
+/// quantiles from exported bucket counts without a Histogram instance.
+/// `min`/`max` clamp the estimate to the observed range; `q` in [0, 1].
+[[nodiscard]] double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                                        std::uint64_t count, std::uint64_t min,
+                                        std::uint64_t max, double q);
 
 /// A distribution summarized by count/sum/min/max plus fixed power-of-two
 /// buckets (upper bounds 1, 2, 4, ... 2^62, +inf). Good enough for round
@@ -63,7 +87,12 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
-  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  /// Smallest observed value; 0 while no observations exist (internally
+  /// the no-observations state is the kNoMin sentinel, so merging an
+  /// empty histogram never poisons the target's minimum).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
   [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
   [[nodiscard]] double mean() const noexcept {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
@@ -71,12 +100,29 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
     return buckets_;
   }
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation within the
+  /// power-of-two bucket holding the target rank, clamped to the
+  /// observed [min, max]. 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Rollup semantics: the merged histogram is exactly the histogram of
+  /// the concatenated sample streams — counts/sums add, buckets add
+  /// element-wise, min/max extend (sentinel-aware, so empty sources are
+  /// no-ops).
+  void merge_from(const Histogram& other);
+
   void reset() noexcept;
 
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
  private:
+  /// min_ while count_ == 0: any first observation is below it.
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
+  std::uint64_t min_ = kNoMin;
   std::uint64_t max_ = 0;
   std::vector<std::uint64_t> buckets_;  // 64 entries; bucket i counts
                                         // values v with 2^(i-1) < v <= 2^i
@@ -116,10 +162,22 @@ class MetricsRegistry {
   /// instrument pointers stay valid).
   void reset();
 
+  /// Merges every instrument of `other` into this registry by name
+  /// (creating absent instruments): counters summed, gauges max-merged,
+  /// histograms merged bucket-wise. The cross-group rollup primitive —
+  /// deterministic because instrument maps iterate in name order and the
+  /// hub merges groups in index order.
+  void merge_from(const MetricsRegistry& other);
+
   /// {"counters": {...}, "gauges": {name: {"value","max"}},
-  ///  "histograms": {name: {"count","sum","min","max","mean"}}}.
-  /// Empty buckets are omitted to keep exports small.
+  ///  "histograms": {name: {"count","sum","min","max","mean","buckets"}}}.
+  /// "buckets" lists only non-zero buckets as [index, count] pairs (so
+  /// offline consumers can recompute quantiles) and is omitted, like the
+  /// whole histogram's samples, when the histogram is empty.
   [[nodiscard]] JsonValue to_json() const;
+
+  friend bool operator==(const MetricsRegistry&, const MetricsRegistry&) =
+      default;
 
  private:
   template <typename T>

@@ -41,10 +41,12 @@
 #include <string_view>
 
 #include "util/ids.hpp"
+#include "util/json.hpp"
 #include "util/process_set.hpp"
 
 namespace dynvote::obs {
 
+class FlightRecorder;
 class Gauge;
 class MetricsRegistry;
 
@@ -77,6 +79,10 @@ enum class DropCause : std::uint8_t {
 [[nodiscard]] std::string_view to_string(TraceEventKind kind);
 [[nodiscard]] std::string_view to_string(DropCause cause);
 
+/// Inverse of to_string(TraceEventKind); throws JsonError on unknown
+/// names (the parse-side failure mode of the trace schema).
+[[nodiscard]] TraceEventKind trace_event_kind_from_string(std::string_view s);
+
 /// One flat trace record. Field meaning depends on `kind` (see the enum
 /// comments); unused fields keep their zero defaults and are omitted from
 /// the JSON export.
@@ -100,6 +106,17 @@ struct TraceEvent {
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
+/// One event in the compact trace.json schema: single-letter keys
+/// (t, k, a, b, n, v, m, d, e, l, c), zero-valued fields omitted. Both
+/// the trace exporters (harness/trace_replay) and flight-recorder
+/// post-mortems serialize events through here, so every consumer parses
+/// one format.
+[[nodiscard]] JsonValue to_json(const TraceEvent& event);
+
+/// Inverse of to_json(TraceEvent). Throws JsonError when a required
+/// field (t, k, a, e) is missing.
+[[nodiscard]] TraceEvent trace_event_from_json(const JsonValue& value);
+
 /// Run-level context exported alongside the events so a trace file is
 /// self-describing: replay needs the core set, Min_Quorum, and whether
 /// the Theorem-1 ambiguity bound applies to the traced protocol.
@@ -118,6 +135,12 @@ struct TraceMeta {
   /// reject the file or explicitly downgrade their verdicts (see
   /// check_trace's TruncationPolicy).
   std::uint64_t overwritten = 0;
+  /// Sharded-fleet shape (0 = not a sharded trace). When set, replica
+  /// ProcessIds are dense group-major (group = pid / group_size), which
+  /// is what dvtrace's --group filter keys on. Omitted from the JSON
+  /// export when zero, so single-group traces are byte-unchanged.
+  std::uint32_t num_groups = 0;
+  std::uint32_t group_size = 0;
 };
 
 /// Ring buffer of TraceEvents.
@@ -144,6 +167,14 @@ class TraceSink {
   /// registry must outlive the sink.
   void bind_metrics(MetricsRegistry& registry);
 
+  /// Tees every retained event into a per-group flight recorder
+  /// (obs/flight_recorder.hpp) after it lands in the ring. The recorder
+  /// keeps its own bounds; eviction here never touches it. Pass nullptr
+  /// to detach. The recorder must outlive the sink (or be detached).
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    flight_ = recorder;
+  }
+
   void clear();
 
   [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
@@ -167,6 +198,7 @@ class TraceSink {
   std::uint64_t next_eid_ = 0;
   Gauge* events_gauge_ = nullptr;
   Gauge* overwritten_gauge_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dynvote::obs

@@ -1,7 +1,12 @@
 #include "shard/sharded_fleet.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/hub.hpp"
+#include "obs/timeseries.hpp"
 #include "util/ensure.hpp"
 
 namespace dynvote::shard {
@@ -29,8 +34,17 @@ ShardedFleet::ShardedFleet(ShardedFleetOptions options)
   ensure(options_.group_size <= options_.num_machines,
          "ShardedFleet: a group's replicas must fit on distinct machines");
   sim_.trace().set_capacity(options_.trace_capacity);
-  metrics_observer_ = std::make_unique<MetricsObserver>(sim_.metrics());
   machine_replicas_.resize(options_.num_machines);
+
+  if (options_.telemetry.enabled) {
+    hub_ = std::make_unique<obs::MetricsHub>(options_.num_groups);
+    flight_ = std::make_unique<obs::FlightRecorder>(obs::FlightRecorderOptions{
+        options_.num_groups, options_.group_size,
+        options_.telemetry.flight_recorder_capacity});
+    sim_.trace().set_flight_recorder(flight_.get());
+  } else {
+    metrics_observer_ = std::make_unique<MetricsObserver>(sim_.metrics());
+  }
 
   groups_.reserve(options_.num_groups);
   for (std::uint32_t g = 0; g < options_.num_groups; ++g) {
@@ -48,18 +62,38 @@ ShardedFleet::ShardedFleet(ShardedFleetOptions options)
     group.observers = std::make_unique<MultiObserver>();
     group.observers->add(group.checker.get());
     group.observers->add(group.formation_observer.get());
-    group.observers->add(metrics_observer_.get());
 
     DvConfig config;
     config.core = group.members;
     config.min_quorum = options_.min_quorum;
     config.persistence.cross_check = options_.persistence_cross_check;
+    if (hub_ != nullptr) {
+      // Attributable telemetry: this group's protocol events and WAL
+      // counters land in its own hub child, not the fleet-global pile.
+      obs::MetricsRegistry& registry = hub_->group(g);
+      group.metrics = std::make_unique<MetricsObserver>(registry);
+      group.observers->add(group.metrics.get());
+      group.reconfig_hist = &registry.histogram("shard.reconfig_latency_ticks");
+      group.reconfigs = &registry.counter("shard.reconfigs");
+      config.registry = &registry;
+    } else {
+      group.observers->add(metrics_observer_.get());
+    }
     for (ProcessId p : group.members) {
       auto node = make_protocol(options_.kind, sim_, p, config);
       node->set_observer(group.observers.get());
       sim_.add_node(std::move(node));
     }
     groups_.push_back(std::move(group));
+  }
+  if (hub_ != nullptr) {
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        *hub_, obs::TimeSeriesOptions{options_.telemetry.timeseries_tick,
+                                      options_.telemetry.timeseries_capacity});
+    sampler_->track_counter("dv.formed");
+    sampler_->track_counter("dv.rejected");
+    sampler_->track_counter("dv.storage.wal_bytes");
+    sampler_->track_gauge("dv.ambiguous_recorded");
   }
   // The oracle must subscribe after every node exists, so each view it
   // announces finds a registered receiver.
@@ -198,6 +232,9 @@ void ShardedFleet::settle(std::size_t max_events) {
   ensure(sim_.queue().empty(),
          "settle: event budget exhausted with events still pending "
          "(runaway schedule)");
+  // Opportunistic sampling: settle() brackets every fault in a fleet
+  // scenario, and the sampler's own tick spacing bounds retention.
+  if (sampler_ != nullptr) sampler_->sample(sim_.now());
 }
 
 ProtocolNode& ShardedFleet::protocol(std::uint32_t group,
@@ -249,9 +286,114 @@ std::vector<Violation> ShardedFleet::check_all_groups(
 void ShardedFleet::note_formed(std::uint32_t group, SimTime time) {
   Group& g = groups_[group];
   if (!g.reconfig_pending_since) return;
-  reconfig_latencies_.push_back(
-      static_cast<double>(time - *g.reconfig_pending_since));
+  const SimTime fault = *g.reconfig_pending_since;
+  const SimTime ticks = time - fault;
+  reconfig_latencies_.push_back(static_cast<double>(ticks));
   g.reconfig_pending_since.reset();
+  if (hub_ == nullptr) return;
+  g.reconfig_hist->observe(ticks);
+  g.reconfigs->add(1);
+  reconfig_samples_.push_back(ReconfigSample{group, fault, time});
+  if (options_.telemetry.reconfig_outlier_ticks != 0 &&
+      ticks > options_.telemetry.reconfig_outlier_ticks &&
+      postmortems_.size() < options_.telemetry.max_postmortems) {
+    postmortems_.push_back(flight_->postmortem_json(
+        group,
+        "reconfig-latency-outlier: " + std::to_string(ticks) + " ticks (> " +
+            std::to_string(options_.telemetry.reconfig_outlier_ticks) + ")",
+        time));
+  }
+}
+
+obs::MetricsHub& ShardedFleet::hub() {
+  ensure(hub_ != nullptr, "ShardedFleet: telemetry is disabled");
+  return *hub_;
+}
+
+const obs::MetricsHub& ShardedFleet::hub() const {
+  ensure(hub_ != nullptr, "ShardedFleet: telemetry is disabled");
+  return *hub_;
+}
+
+const obs::FlightRecorder& ShardedFleet::flight_recorder() const {
+  ensure(flight_ != nullptr, "ShardedFleet: telemetry is disabled");
+  return *flight_;
+}
+
+std::size_t ShardedFleet::check_and_record_postmortems(
+    std::size_t order_check_limit) {
+  ensure(flight_ != nullptr, "ShardedFleet: telemetry is disabled");
+  std::size_t recorded = 0;
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    const std::vector<Violation> violations =
+        groups_[g].checker->check_all(order_check_limit);
+    if (violations.empty()) continue;
+    if (postmortems_.size() >= options_.telemetry.max_postmortems) break;
+    postmortems_.push_back(flight_->postmortem_json(
+        g,
+        "consistency-violation " + violations.front().kind + ": " +
+            violations.front().detail,
+        sim_.now()));
+    ++recorded;
+  }
+  return recorded;
+}
+
+JsonValue ShardedFleet::telemetry_json() const {
+  ensure(hub_ != nullptr, "ShardedFleet: telemetry is disabled");
+  JsonValue out = JsonValue::object();
+  out.reserve(11);
+  out.set("schema_version",
+          JsonValue(static_cast<std::int64_t>(kFleetTelemetrySchemaVersion)));
+  out.set("num_groups",
+          JsonValue(static_cast<std::uint64_t>(options_.num_groups)));
+  out.set("group_size",
+          JsonValue(static_cast<std::uint64_t>(options_.group_size)));
+  out.set("num_machines",
+          JsonValue(static_cast<std::uint64_t>(options_.num_machines)));
+  out.set("protocol", JsonValue(to_string(options_.kind)));
+  out.set("rollup", hub_->rollup().to_json());
+
+  JsonValue groups = JsonValue::array();
+  groups.reserve(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    groups.push_back(hub_->group(g).to_json());
+  }
+  out.set("groups", std::move(groups));
+
+  // Top-k slowest reconfigurations, latency-descending with formation
+  // order as the tie-break (stable_sort over the formation-ordered
+  // samples), so the ranking is deterministic.
+  std::vector<std::size_t> order(reconfig_samples_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return reconfig_samples_[a].latency() >
+                            reconfig_samples_[b].latency();
+                   });
+  constexpr std::size_t kTopK = 8;
+  if (order.size() > kTopK) order.resize(kTopK);
+  JsonValue slowest = JsonValue::array();
+  slowest.reserve(order.size());
+  for (const std::size_t i : order) {
+    const ReconfigSample& s = reconfig_samples_[i];
+    JsonValue entry = JsonValue::object();
+    entry.reserve(4);
+    entry.set("group", JsonValue(static_cast<std::uint64_t>(s.group)));
+    entry.set("fault_time", JsonValue(s.fault_time));
+    entry.set("formed_time", JsonValue(s.formed_time));
+    entry.set("latency_ticks", JsonValue(s.latency()));
+    slowest.push_back(std::move(entry));
+  }
+  out.set("slowest_reconfigs", std::move(slowest));
+
+  out.set("timeseries", sampler_->to_json());
+
+  JsonValue postmortems = JsonValue::array();
+  postmortems.reserve(postmortems_.size());
+  for (const JsonValue& pm : postmortems_) postmortems.push_back(pm);
+  out.set("postmortems", std::move(postmortems));
+  return out;
 }
 
 }  // namespace dynvote::shard

@@ -40,9 +40,40 @@
 #include "harness/events.hpp"
 #include "membership/membership_oracle.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
+namespace dynvote::obs {
+class FlightRecorder;
+class MetricsHub;
+class TimeSeriesSampler;
+}  // namespace dynvote::obs
+
 namespace dynvote::shard {
+
+/// Version stamped into telemetry_json(); bump on any incompatible
+/// change to the fleet-telemetry payload shape.
+inline constexpr int kFleetTelemetrySchemaVersion = 1;
+
+/// The fleet-scale telemetry layer (obs/hub, obs/timeseries,
+/// obs/flight_recorder) wired through a ShardedFleet. Telemetry never
+/// perturbs the simulation: enabled or not, the event schedule and every
+/// protocol decision are identical (bench_shards asserts digest equality
+/// between modes and measures the overhead against a 5% budget).
+struct FleetTelemetryOptions {
+  bool enabled = true;
+  /// Sim-time spacing of retained time-series samples (microticks).
+  SimTime timeseries_tick = 2'000;
+  /// Ring bound on retained time-series samples.
+  std::size_t timeseries_capacity = 512;
+  /// Per-group flight-recorder ring bound (protocol events only).
+  std::size_t flight_recorder_capacity = 64;
+  /// Reconfiguration latency (ticks) above which the group's flight
+  /// recorder dumps an outlier post-mortem. 0 = no outlier capture.
+  SimTime reconfig_outlier_ticks = 0;
+  /// Cap on post-mortems retained per run (outliers + violations).
+  std::size_t max_postmortems = 16;
+};
 
 struct ShardedFleetOptions {
   /// Number of independent primary-component groups (= shards).
@@ -65,6 +96,7 @@ struct ShardedFleetOptions {
   /// Debug replay audit of the persistence layer (expensive; off for
   /// fleet-scale runs, bench_persistence measures its cost).
   bool persistence_cross_check = false;
+  FleetTelemetryOptions telemetry;
 };
 
 class ShardedFleet {
@@ -154,6 +186,50 @@ class ShardedFleet {
     return reconfig_latencies_;
   }
 
+  // -- telemetry ---------------------------------------------------------------
+
+  /// One closed reconfiguration window, attributable to its group (the
+  /// latency in reconfig_latencies() loses the group id).
+  struct ReconfigSample {
+    std::uint32_t group = 0;
+    SimTime fault_time = 0;
+    SimTime formed_time = 0;
+    [[nodiscard]] SimTime latency() const noexcept {
+      return formed_time - fault_time;
+    }
+  };
+
+  [[nodiscard]] bool telemetry_enabled() const noexcept {
+    return hub_ != nullptr;
+  }
+  /// The per-group metrics hub. Requires options.telemetry.enabled.
+  [[nodiscard]] obs::MetricsHub& hub();
+  [[nodiscard]] const obs::MetricsHub& hub() const;
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const;
+
+  /// Reconfiguration samples with group attribution, formation order.
+  [[nodiscard]] const std::vector<ReconfigSample>& reconfig_samples()
+      const noexcept {
+    return reconfig_samples_;
+  }
+
+  /// Runs every group's consistency check; each violating group dumps
+  /// its flight-recorder ring as a post-mortem (reason = the first
+  /// violation), subject to the max_postmortems cap. Returns how many
+  /// post-mortems were recorded. Requires telemetry.
+  std::size_t check_and_record_postmortems(std::size_t order_check_limit = 400);
+
+  /// Post-mortems recorded so far (latency outliers and violations).
+  [[nodiscard]] const std::vector<JsonValue>& postmortems() const noexcept {
+    return postmortems_;
+  }
+
+  /// The full fleet-telemetry document: shape, deterministic rollup,
+  /// per-group registries, top-k slowest reconfigurations, time series,
+  /// post-mortems. Byte-identical across runs of the same seed and at
+  /// any DYNVOTE_THREADS. Requires telemetry.
+  [[nodiscard]] JsonValue telemetry_json() const;
+
  private:
   friend struct GroupFormationObserver;
 
@@ -164,6 +240,13 @@ class ShardedFleet {
     std::unique_ptr<ConsistencyChecker> checker;
     std::unique_ptr<GroupFormationObserver> formation_observer;
     std::unique_ptr<MultiObserver> observers;
+    /// Telemetry mode: this group's protocol events land in its own hub
+    /// child registry instead of the fleet-global one.
+    std::unique_ptr<MetricsObserver> metrics;
+    /// Cached hub-child instruments (telemetry mode only): formation
+    /// closes a window on the protocol hot path.
+    obs::Histogram* reconfig_hist = nullptr;
+    obs::Counter* reconfigs = nullptr;
     /// Component layout last applied for this group (what the next
     /// fault is diffed against to detect a reconfiguration).
     std::vector<ProcessSet> last_components;
@@ -179,10 +262,17 @@ class ShardedFleet {
 
   ShardedFleetOptions options_;
   sim::Simulator sim_;
+  /// Fleet-global MetricsObserver (non-telemetry mode only; telemetry
+  /// mode gives every group its own, feeding its hub child).
   std::unique_ptr<MetricsObserver> metrics_observer_;
+  std::unique_ptr<obs::MetricsHub> hub_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   std::vector<Group> groups_;
   std::vector<std::vector<ProcessId>> machine_replicas_;
   std::vector<double> reconfig_latencies_;
+  std::vector<ReconfigSample> reconfig_samples_;
+  std::vector<JsonValue> postmortems_;
   std::unique_ptr<MembershipOracle> oracle_;
 };
 

@@ -92,6 +92,54 @@ TEST(MetricsTest, CountersGaugesHistograms) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(MetricsTest, ResetClearsHistogramMinForTheNextObservation) {
+  // Regression: reset() used to leave min_ at the last observed value,
+  // so the first post-reset observation above it never lowered the
+  // minimum — and a merge_from a reset histogram poisoned the target.
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("h");
+  h.observe(3);
+  registry.reset();
+  EXPECT_EQ(h.min(), 0u);  // empty again
+  h.observe(50);
+  EXPECT_EQ(h.min(), 50u);
+
+  obs::Histogram target;
+  target.observe(100);
+  obs::Histogram empty;
+  target.merge_from(empty);
+  EXPECT_EQ(target.min(), 100u);  // empty source is a no-op
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinPowerOfTwoBuckets) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(7);
+  EXPECT_EQ(h.quantile(0.0), 7.0);  // single value: clamped to [min,max]
+  EXPECT_EQ(h.quantile(1.0), 7.0);
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  // Power-of-two buckets are coarse; the estimate must land within the
+  // bucket that holds the exact answer (here (512, 1024] around 500).
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);  // clamped to the observed max
+  EXPECT_LE(h.quantile(0.10), p50);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricsTest, MergedHistogramEqualsHistogramOfConcatenatedStreams) {
+  obs::Histogram left, right, all;
+  for (std::uint64_t v : {1u, 8u, 9u, 500u}) { left.observe(v); all.observe(v); }
+  for (std::uint64_t v : {2u, 3u, 700u}) { right.observe(v); all.observe(v); }
+  obs::Histogram merged = left;
+  merged.merge_from(right);
+  EXPECT_EQ(merged, all);
+  EXPECT_EQ(merged.quantile(0.5), all.quantile(0.5));
+}
+
 TEST(MetricsTest, InstrumentReferencesStayValidAcrossRegistrations) {
   obs::MetricsRegistry registry;
   obs::Counter& first = registry.counter("a");

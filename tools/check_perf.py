@@ -19,6 +19,12 @@ the freshly generated one in lockstep:
     seeded and deterministic, so any drift there is a behavior change,
     not noise, and the right fix is to regenerate baselines consciously
     (--update) in the commit that changed behavior;
+  * a numeric leaf with a sibling "<key>_budget" is *budget-gated*: the
+    current value must stay at or under the current budget (e.g.
+    telemetry_overhead_frac <= telemetry_overhead_frac_budget). The
+    measured value is noisy by nature, so it is never compared against
+    the baseline; the budget itself IS compared exactly, so a budget
+    cannot loosen silently;
   * machine-dependent context (google-benchmark's "context" block,
     pool_threads, dates) is skipped.
 
@@ -86,6 +92,18 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
                 continue
             if key not in current:
                 report.mismatches.append(f"{path}.{key}: missing from current run")
+                continue
+            budget_key = f"{key}_budget"
+            if budget_key in current and isinstance(
+                    current[key], (int, float)) and not isinstance(
+                    current[key], bool):
+                # Budget-gated: the measurement is noisy, the budget is
+                # the contract. (The budget key itself is compared
+                # exactly on its own turn through this loop.)
+                if current[key] > current[budget_key]:
+                    report.regressions.append(
+                        f"{path}.{key}: {current[key]:g} over budget "
+                        f"{current[budget_key]:g}")
                 continue
             compare(baseline[key], current[key], f"{path}.{key}",
                     timing or is_timing_key(key), tolerance, report)

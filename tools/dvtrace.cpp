@@ -8,9 +8,24 @@
 //   dvtrace export-chrome <trace.json> [--out f]
 //                                            Chrome trace-event / Perfetto
 //                                            JSON (validated before write)
+//   dvtrace fleet <fleet_telemetry.json>     fleet health report: per-shard
+//                                            table, slowest reconfigs with
+//                                            flight-recorder root causes,
+//                                            time series, post-mortems
+//
+// Trace commands accept `--group G` on sharded traces (meta carries the
+// fleet shape): the trace is restricted to group G's events before the
+// command runs, so timeline/ambiguity/spans read as single-group runs.
+//
+// `fleet` takes the telemetry document bench_shards exports (NOT a
+// trace); `--top K` bounds the slowest-reconfiguration listing and
+// `--expect-postmortem` makes the exit code assert that at least one
+// post-mortem with an intact causal chain is present (the violation-demo
+// check in run_experiments.sh).
 //
 // Exit codes: 0 success, 1 a check failed (Theorem-1 bound exceeded, no
-// causal root, Chrome JSON invalid), 2 usage or I/O error.
+// causal root, Chrome JSON invalid, missing expected post-mortem),
+// 2 usage or I/O error.
 //
 // Everything here works from the file alone — the tool never needs the
 // process that produced the trace (see docs/OBSERVABILITY.md).
@@ -22,12 +37,16 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/trace_replay.hpp"
+#include "obs/metrics.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -46,7 +65,11 @@ int usage() {
          "  ambiguity <trace.json>                lifetimes + Theorem-1 check\n"
          "  spans <trace.json> [--out FILE]       span report JSON\n"
          "  export-chrome <trace.json> [--out FILE]\n"
-         "                                        Chrome trace-event JSON\n";
+         "                                        Chrome trace-event JSON\n"
+         "  fleet <fleet_telemetry.json> [--top K] [--expect-postmortem]\n"
+         "                                        fleet health report\n"
+         "trace commands accept --group G on sharded traces (restricts\n"
+         "the trace to group G before the command runs)\n";
   return 2;
 }
 
@@ -199,6 +222,179 @@ int cmd_ambiguity(const TraceMetaAndEvents& trace, const SpanReport& report) {
   return 0;
 }
 
+// -- fleet health report -------------------------------------------------------
+
+std::uint64_t counter_of(const JsonValue& registry, std::string_view name) {
+  const JsonValue* counters = registry.find("counters");
+  if (counters == nullptr) return 0;
+  const JsonValue* value = counters->find(name);
+  return value == nullptr ? 0 : value->as_uint();
+}
+
+/// An exported histogram: summary stats plus the sparse [index, count]
+/// bucket pairs re-densified so histogram_quantile can walk them.
+struct ExportedHistogram {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+
+  [[nodiscard]] double quantile(double q) const {
+    return dynvote::obs::histogram_quantile(buckets, count, min, max, q);
+  }
+};
+
+std::optional<ExportedHistogram> histogram_of(const JsonValue& registry,
+                                              std::string_view name) {
+  const JsonValue* histograms = registry.find("histograms");
+  if (histograms == nullptr) return std::nullopt;
+  const JsonValue* value = histograms->find(name);
+  if (value == nullptr) return std::nullopt;
+  ExportedHistogram out;
+  out.count = value->at("count").as_uint();
+  out.min = value->at("min").as_uint();
+  out.max = value->at("max").as_uint();
+  for (const JsonValue& pair : value->at("buckets").as_array()) {
+    const auto index = pair.as_array().at(0).as_uint();
+    const auto bucket_count = pair.as_array().at(1).as_uint();
+    if (index >= out.buckets.size()) out.buckets.resize(index + 1, 0);
+    out.buckets[index] = bucket_count;
+  }
+  return out;
+}
+
+/// Renders one post-mortem: header, then the causal chain of each
+/// anchor, root first, reusing the timeline's describe() format so eids
+/// line up with any full trace export of the same run.
+void render_postmortem(const JsonValue& postmortem, std::size_t index) {
+  std::cout << "[" << index << "] group " << postmortem.at("group").as_uint()
+            << " at " << postmortem.at("time").as_uint() << "us: "
+            << postmortem.at("reason").as_string() << "\n"
+            << "    ring: " << postmortem.at("events").as_array().size()
+            << " event(s), " << postmortem.at("dropped").as_uint()
+            << " evicted\n";
+  std::unordered_map<std::uint64_t, TraceEvent> by_eid;
+  for (const JsonValue& event_json : postmortem.at("events").as_array()) {
+    const TraceEvent event = dynvote::obs::trace_event_from_json(event_json);
+    by_eid.emplace(event.eid, event);
+  }
+  for (const JsonValue& chain : postmortem.at("chains").as_array()) {
+    std::cout << "    chain for #" << chain.at("for").as_uint();
+    if (chain.at("truncated").as_bool()) {
+      std::cout << " (TRUNCATED: root cause evicted from the ring)";
+    }
+    std::cout << "\n";
+    std::size_t depth = 0;
+    for (const JsonValue& eid : chain.at("eids").as_array()) {
+      const auto it = by_eid.find(eid.as_uint());
+      std::cout << std::string(6 + 2 * depth++, ' ');
+      if (it == by_eid.end()) {
+        std::cout << "#" << eid.as_uint() << " (not in ring)\n";
+      } else {
+        std::cout << describe(it->second) << "\n";
+      }
+    }
+  }
+}
+
+/// Whether at least one post-mortem carries an intact (non-truncated)
+/// causal chain — what --expect-postmortem asserts.
+bool any_intact_postmortem(const JsonValue& postmortems) {
+  for (const JsonValue& postmortem : postmortems.as_array()) {
+    for (const JsonValue& chain : postmortem.at("chains").as_array()) {
+      if (!chain.at("truncated").as_bool()) return true;
+    }
+  }
+  return false;
+}
+
+int cmd_fleet(const JsonValue& doc, std::size_t top,
+              bool expect_postmortem) {
+  const auto num_groups = doc.at("num_groups").as_uint();
+  std::cout << "fleet: " << num_groups << " group(s) x "
+            << doc.at("group_size").as_uint() << " replicas on "
+            << doc.at("num_machines").as_uint() << " machine(s), protocol="
+            << doc.at("protocol").as_string() << " (schema v"
+            << doc.at("schema_version").as_uint() << ")\n";
+
+  // Rollup: the deterministic cross-group aggregate.
+  const JsonValue& rollup = doc.at("rollup");
+  std::cout << "rollup: formed=" << counter_of(rollup, "dv.formed")
+            << " rejected=" << counter_of(rollup, "dv.rejected")
+            << " reconfigs=" << counter_of(rollup, "shard.reconfigs")
+            << " views=" << counter_of(rollup, "dv.views_installed")
+            << " primary_uptime=" << counter_of(rollup, "dv.primary_uptime_ticks")
+            << "us time_in_ambiguity="
+            << counter_of(rollup, "dv.ambiguity_ticks") << "us\n\n";
+
+  // Per-shard health table; percentiles recomputed from each group's
+  // exported bucket counts.
+  dynvote::Table table({"group", "formed", "reconfigs", "p50 reconf",
+                        "p99 reconf", "ambiguity us"});
+  const JsonValue& groups = doc.at("groups");
+  for (std::size_t g = 0; g < groups.as_array().size(); ++g) {
+    const JsonValue& registry = groups.as_array()[g];
+    const auto latency = histogram_of(registry, "shard.reconfig_latency_ticks");
+    table.add_row(
+        {std::to_string(g), std::to_string(counter_of(registry, "dv.formed")),
+         std::to_string(counter_of(registry, "shard.reconfigs")),
+         latency ? dynvote::format_double(latency->quantile(0.50), 0) : "-",
+         latency ? dynvote::format_double(latency->quantile(0.99), 0) : "-",
+         std::to_string(counter_of(registry, "dv.ambiguity_ticks"))});
+  }
+  std::cout << table.to_string() << "\n";
+
+  // Slowest reconfigurations, annotated with any post-mortem the same
+  // group's flight recorder dumped (the root-cause pointer).
+  const JsonValue& postmortems = doc.at("postmortems");
+  const JsonValue& slowest = doc.at("slowest_reconfigs");
+  const std::size_t shown = std::min(top, slowest.as_array().size());
+  std::cout << "slowest reconfigurations (top " << shown << " of "
+            << counter_of(rollup, "shard.reconfigs") << "):\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const JsonValue& entry = slowest.as_array()[i];
+    const auto group = entry.at("group").as_uint();
+    std::cout << "  " << (i + 1) << ". group " << group << ": "
+              << entry.at("latency_ticks").as_uint() << " ticks (fault @"
+              << entry.at("fault_time").as_uint() << "us -> formed @"
+              << entry.at("formed_time").as_uint() << "us)";
+    for (std::size_t p = 0; p < postmortems.as_array().size(); ++p) {
+      if (postmortems.as_array()[p].at("group").as_uint() == group) {
+        std::cout << " [post-mortem " << p << "]";
+        break;
+      }
+    }
+    std::cout << "\n";
+  }
+
+  // Time series: sample count and the peak windowed rate per counter.
+  const JsonValue& timeseries = doc.at("timeseries");
+  const auto samples = timeseries.at("times").as_array().size();
+  std::cout << "\ntime series: " << samples << " sample(s), tick="
+            << timeseries.at("tick").as_uint() << "us, dropped="
+            << timeseries.at("dropped").as_uint() << "\n";
+  for (const auto& [name, series] : timeseries.at("counters").as_object()) {
+    double peak = 0;
+    for (const JsonValue& rate : series.at("rates").as_array()) {
+      peak = std::max(peak, rate.as_double());
+    }
+    std::cout << "  " << name << ": peak rate "
+              << dynvote::format_double(peak, 1) << "/virtual-sec\n";
+  }
+
+  std::cout << "\npost-mortems: " << postmortems.as_array().size() << "\n";
+  for (std::size_t p = 0; p < postmortems.as_array().size(); ++p) {
+    render_postmortem(postmortems.as_array()[p], p);
+  }
+
+  if (expect_postmortem && !any_intact_postmortem(postmortems)) {
+    std::cerr << "dvtrace: expected a post-mortem with an intact causal "
+                 "chain, found none\n";
+    return 1;
+  }
+  return 0;
+}
+
 int emit_json(const JsonValue& doc, const std::string& out_path) {
   const std::string text = doc.dump();
   if (out_path.empty()) {
@@ -262,6 +458,30 @@ int main(int argc, char** argv) {
     std::cerr << "dvtrace: cannot read " << path << "\n";
     return 2;
   }
+
+  // `fleet` consumes the telemetry document, not a trace — dispatch
+  // before the trace parser sees the file.
+  if (command == "fleet") {
+    std::size_t top = 8;
+    bool expect_postmortem = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--top" && i + 1 < argc) {
+        top = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--expect-postmortem") {
+        expect_postmortem = true;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      return cmd_fleet(JsonValue::parse(*text), top, expect_postmortem);
+    } catch (const dynvote::JsonError& e) {
+      std::cerr << "dvtrace: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   TraceMetaAndEvents trace;
   try {
     trace = dynvote::load_trace_json(*text);
@@ -270,11 +490,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // `--group G` restricts a sharded trace to one group before any
+  // command runs; the narrowed meta makes span folding and the
+  // Theorem-1 check meaningful per group.
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--group") continue;
+    if (trace.meta.group_size == 0) {
+      std::cerr << "dvtrace: --group needs a sharded trace (this meta "
+                   "carries no fleet shape)\n";
+      return 2;
+    }
+    const auto group =
+        static_cast<std::uint32_t>(std::stoull(argv[i + 1]));
+    if (group >= trace.meta.num_groups) {
+      std::cerr << "dvtrace: group " << group << " out of range (trace has "
+                << trace.meta.num_groups << " groups)\n";
+      return 2;
+    }
+    trace = dynvote::filter_trace_group(trace, group);
+    break;
+  }
+
   if (command == "timeline") return cmd_timeline(trace);
 
   if (command == "explain-abort") {
     std::optional<std::int64_t> view_id;
-    if (argc > 3) view_id = std::stoll(argv[3]);
+    if (argc > 3 && argv[3][0] != '-') view_id = std::stoll(argv[3]);
     return cmd_explain_abort(trace, view_id);
   }
 

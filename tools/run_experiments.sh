@@ -69,6 +69,23 @@ if [ -f results/trace.json ]; then
     --out results/trace_spans.json
 fi
 
+# Fleet telemetry artifacts from bench_shards: the health report over
+# the flagship shape, and the violation demo, which MUST contain a
+# flight-recorder post-mortem with an intact causal chain (dvtrace
+# exits 1 otherwise — the telemetry layer's end-to-end check).
+if [ -f results/fleet_telemetry.json ]; then
+  echo "== dvtrace fleet (results/fleet_telemetry.json)"
+  build/tools/dvtrace fleet results/fleet_telemetry.json \
+    > results/fleet_report.txt
+  cat results/fleet_report.txt
+fi
+if [ -f results/fleet_violation_telemetry.json ]; then
+  echo "== dvtrace fleet --expect-postmortem (violation demo)"
+  build/tools/dvtrace fleet results/fleet_violation_telemetry.json \
+    --expect-postmortem > results/fleet_violation_report.txt
+  cat results/fleet_violation_report.txt
+fi
+
 # Tier-1 suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   echo "== tier-1 tests under ASan/UBSan (build-asan/)"
@@ -101,7 +118,7 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
+    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
