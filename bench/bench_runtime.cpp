@@ -1,0 +1,257 @@
+// Wall-clock benchmark of the thread runtime (experiment C5, real time).
+//
+// Two phases:
+//
+//   (0) Correctness gate: the DES-as-oracle cross-check on 8 seeds for
+//       both paper protocols. The bench *refuses to report numbers from
+//       a runtime that diverges from the simulator* — exit 1.
+//
+//   (1) Reconfiguration latency: for each protocol in {basic, optimized,
+//       three_phase_recovery} and fleet width n in {4, 8, 16, 32}
+//       threads, repeatedly partition into majority/minority and merge
+//       back, measuring the wall-clock time from issuing the topology
+//       change until every member of the forming component has formed
+//       the new primary (per-process formation timestamps come from a
+//       ProtocolObserver on the process threads). Reports p50/p99.
+//
+// The paper's claim C5 in real time: [17]-style three-phase recovery
+// needs 5 communication rounds per formation where the paper's
+// protocols need 2, so its reconfiguration latency must be higher at
+// every width — the bench asserts p50(optimized) < p50(three_phase).
+//
+// DYNVOTE_RUNTIME_QUICK=1 shrinks widths and iterations for sanitizer
+// runs (tools/run_experiments.sh); wall-clock keys in the JSON carry
+// *_budget siblings so tools/check_perf.py gates on budgets instead of
+// cross-machine-meaningless absolute comparisons.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/bench_report.hpp"
+#include "runtime/crosscheck.hpp"
+#include "runtime/fleet.hpp"
+#include "util/table.hpp"
+
+namespace dynvote::runtime {
+namespace {
+
+/// Records each process's latest formation time (transport microseconds)
+/// from its own thread; the fleet's quiesce barrier publishes the slots
+/// back to the bench thread.
+class FormationClock : public ProtocolObserver {
+ public:
+  explicit FormationClock(std::size_t n) : formed_at_(n) {}
+
+  void on_formed(SimTime time, ProcessId p, const Session&, int) override {
+    formed_at_[p.value()].store(time, std::memory_order_relaxed);
+  }
+
+  /// Latest formation among `members`, or 0 if someone never formed
+  /// after `t0`.
+  [[nodiscard]] std::uint64_t formed_by(const ProcessSet& members,
+                                        std::uint64_t t0) const {
+    std::uint64_t latest = 0;
+    for (ProcessId p : members) {
+      const std::uint64_t at =
+          formed_at_[p.value()].load(std::memory_order_relaxed);
+      if (at < t0) return 0;
+      latest = std::max(latest, at);
+    }
+    return latest;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> formed_at_;
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t> samples, double pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+struct LatencyRow {
+  ProtocolKind kind;
+  std::uint32_t n = 0;
+  std::size_t samples = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// One partition/merge churn run; returns per-reconfiguration latencies
+/// (one sample per topology change, from issue to last member formed).
+std::vector<std::uint64_t> measure(ProtocolKind kind, std::uint32_t n,
+                                   int cycles) {
+  FleetOptions options;
+  options.kind = kind;
+  options.n = n;
+  RuntimeFleet fleet(options);
+  FormationClock clock(n);
+  ProcessSet majority;
+  ProcessSet minority;
+  ProcessSet everyone;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId p(i);
+    fleet.protocol(p).set_observer(&clock);
+    everyone.insert(p);
+    (i <= n / 2 ? majority : minority).insert(p);
+  }
+  fleet.start();
+
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(static_cast<std::size_t>(cycles) * 2);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::uint64_t t0 = fleet.transport().now();
+    fleet.partition({majority, minority});
+    std::uint64_t formed = clock.formed_by(majority, t0);
+    if (formed != 0) latencies.push_back(formed - t0);
+
+    t0 = fleet.transport().now();
+    fleet.merge();
+    formed = clock.formed_by(everyone, t0);
+    if (formed != 0) latencies.push_back(formed - t0);
+  }
+  fleet.stop();
+  return latencies;
+}
+
+}  // namespace
+}  // namespace dynvote::runtime
+
+int main() {
+  using namespace dynvote;
+  using namespace dynvote::runtime;
+
+  const bool quick = std::getenv("DYNVOTE_RUNTIME_QUICK") != nullptr;
+
+  // ---- phase 0: the runtime must match the DES before it may report --
+  std::puts("cross-check: DES oracle vs thread runtime, 8 seeds");
+  Table check_table({"protocol", "seeds", "digests equal", "C1 clean"});
+  JsonValue check_rows = JsonValue::array();
+  bool all_equal = true;
+  bool all_c1 = true;
+  for (ProtocolKind kind : {ProtocolKind::kBasic, ProtocolKind::kOptimized}) {
+    bool equal = true;
+    bool c1 = true;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const CrossCheckResult result = run_scenario(kind, /*n=*/5, seed);
+      if (!result.digests_equal) {
+        equal = false;
+        std::fprintf(stderr,
+                     "DIVERGENCE %s seed %llu\n--- DES ---\n%s--- runtime "
+                     "---\n%s",
+                     to_string(kind), static_cast<unsigned long long>(seed),
+                     result.sim_summary.c_str(),
+                     result.runtime_summary.c_str());
+      }
+      c1 &= result.c1_clean;
+    }
+    check_table.add_row(
+        {to_string(kind), "8", equal ? "yes" : "NO", c1 ? "yes" : "NO"});
+    JsonValue row = JsonValue::object();
+    row.set("protocol", JsonValue(to_string(kind)));
+    row.set("seeds", JsonValue(std::uint64_t{8}));
+    row.set("digests_equal", JsonValue(equal));
+    row.set("c1_clean", JsonValue(c1));
+    check_rows.push_back(std::move(row));
+    all_equal &= equal;
+    all_c1 &= c1;
+  }
+  std::printf("%s\n", check_table.to_string().c_str());
+  if (!all_equal || !all_c1) {
+    std::fputs("runtime diverges from the DES oracle; not reporting "
+               "latencies from a wrong backend\n",
+               stderr);
+    return 1;
+  }
+
+  // ---- phase 1: reconfiguration latency ------------------------------
+  const std::vector<std::uint32_t> widths =
+      quick ? std::vector<std::uint32_t>{4, 8}
+            : std::vector<std::uint32_t>{4, 8, 16, 32};
+  const int cycles = quick ? 3 : 12;
+  const std::vector<ProtocolKind> kinds = {ProtocolKind::kBasic,
+                                           ProtocolKind::kOptimized,
+                                           ProtocolKind::kThreePhaseRecovery};
+
+  std::printf("reconfiguration latency, one thread per process (%d "
+              "partition+merge cycles)\n",
+              cycles);
+  Table table({"protocol", "n", "samples", "p50 us", "p99 us"});
+  std::vector<LatencyRow> rows;
+  std::vector<std::uint64_t> optimized_all;
+  std::vector<std::uint64_t> three_phase_all;
+  for (ProtocolKind kind : kinds) {
+    for (std::uint32_t n : widths) {
+      const std::vector<std::uint64_t> samples = measure(kind, n, cycles);
+      LatencyRow row;
+      row.kind = kind;
+      row.n = n;
+      row.samples = samples.size();
+      row.p50_us = percentile(samples, 50);
+      row.p99_us = percentile(samples, 99);
+      table.add_row({to_string(kind), std::to_string(n),
+                     std::to_string(row.samples), std::to_string(row.p50_us),
+                     std::to_string(row.p99_us)});
+      rows.push_back(row);
+      if (kind == ProtocolKind::kOptimized) {
+        optimized_all.insert(optimized_all.end(), samples.begin(),
+                             samples.end());
+      } else if (kind == ProtocolKind::kThreePhaseRecovery) {
+        three_phase_all.insert(three_phase_all.end(), samples.begin(),
+                               samples.end());
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const std::uint64_t optimized_p50 = percentile(optimized_all, 50);
+  const std::uint64_t three_phase_p50 = percentile(three_phase_all, 50);
+  const bool optimized_faster = optimized_p50 < three_phase_p50;
+  std::printf("C5 in wall-clock: optimized p50 %llu us vs three-phase "
+              "recovery p50 %llu us -> %s\n",
+              static_cast<unsigned long long>(optimized_p50),
+              static_cast<unsigned long long>(three_phase_p50),
+              optimized_faster ? "2-round protocol is faster"
+                               : "VIOLATION: 5-round protocol won");
+
+  JsonValue result = JsonValue::object();
+  result.set("experiment", JsonValue("runtime"));
+  JsonValue crosscheck = JsonValue::object();
+  crosscheck.set("seeds", JsonValue(std::uint64_t{8}));
+  crosscheck.set("all_equal", JsonValue(all_equal));
+  crosscheck.set("all_c1", JsonValue(all_c1));
+  crosscheck.set("rows", std::move(check_rows));
+  result.set("crosscheck", std::move(crosscheck));
+  JsonValue latency_rows = JsonValue::array();
+  for (const LatencyRow& row : rows) {
+    JsonValue json_row = JsonValue::object();
+    json_row.set("protocol", JsonValue(to_string(row.kind)));
+    json_row.set("n", JsonValue(std::uint64_t{row.n}));
+    json_row.set("samples", JsonValue(std::uint64_t{row.samples}));
+    // Wall-clock values vary across machines: each key carries a budget
+    // sibling so tools/check_perf.py gates on the budget, not the value.
+    json_row.set("p50_us", JsonValue(row.p50_us));
+    json_row.set("p50_us_budget", JsonValue(std::uint64_t{2000000}));
+    json_row.set("p99_us", JsonValue(row.p99_us));
+    json_row.set("p99_us_budget", JsonValue(std::uint64_t{10000000}));
+    latency_rows.push_back(std::move(json_row));
+  }
+  result.set("rows", std::move(latency_rows));
+  JsonValue comparison = JsonValue::object();
+  comparison.set("optimized_p50_us", JsonValue(optimized_p50));
+  comparison.set("optimized_p50_us_budget", JsonValue(std::uint64_t{2000000}));
+  comparison.set("three_phase_p50_us", JsonValue(three_phase_p50));
+  comparison.set("three_phase_p50_us_budget",
+                 JsonValue(std::uint64_t{10000000}));
+  comparison.set("optimized_faster", JsonValue(optimized_faster));
+  result.set("comparison", std::move(comparison));
+  emit_bench_result("runtime", result);
+
+  return optimized_faster ? 0 : 1;
+}

@@ -1,16 +1,21 @@
 #include "baselines/hybrid_jm.hpp"
 
 #include "quorum/linear_order.hpp"
+#include "sim/simulator.hpp"
 #include "util/ensure.hpp"
 
 namespace dynvote {
 
-HybridJmProtocol::HybridJmProtocol(sim::Simulator& sim, ProcessId id,
+HybridJmProtocol::HybridJmProtocol(sim::Transport& transport, ProcessId id,
                                    DvConfig config)
-    : BasicDvProtocol(sim, id, std::move(config)) {
+    : BasicDvProtocol(transport, id, std::move(config)) {
   ensure(config_.core.size() >= 3,
          "hybrid voting needs a core of at least three processes");
 }
+
+HybridJmProtocol::HybridJmProtocol(sim::Simulator& sim, ProcessId id,
+                                   DvConfig config)
+    : HybridJmProtocol(sim.transport(), id, std::move(config)) {}
 
 bool HybridJmProtocol::hybrid_rule(const ProcessSet& S, const ProcessSet& M) {
   if (S.size() > 3) {

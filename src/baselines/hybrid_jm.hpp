@@ -24,6 +24,7 @@ namespace dynvote {
 
 class HybridJmProtocol : public BasicDvProtocol {
  public:
+  HybridJmProtocol(sim::Transport& transport, ProcessId id, DvConfig config);
   HybridJmProtocol(sim::Simulator& sim, ProcessId id, DvConfig config);
 
  protected:

@@ -16,6 +16,9 @@ namespace dynvote {
 
 class LastAttemptOnlyProtocol : public BasicDvProtocol {
  public:
+  LastAttemptOnlyProtocol(sim::Transport& transport, ProcessId id,
+                          DvConfig config)
+      : BasicDvProtocol(transport, id, with_limit(std::move(config))) {}
   LastAttemptOnlyProtocol(sim::Simulator& sim, ProcessId id, DvConfig config)
       : BasicDvProtocol(sim, id, with_limit(std::move(config))) {}
 

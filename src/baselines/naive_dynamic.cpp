@@ -1,5 +1,6 @@
 #include "baselines/naive_dynamic.hpp"
 
+#include "sim/simulator.hpp"
 #include "sim/stable_storage.hpp"
 #include "util/ensure.hpp"
 
@@ -9,13 +10,17 @@ namespace {
 constexpr const char* kStateKey = "naive.state";
 }  // namespace
 
-NaiveDynamicProtocol::NaiveDynamicProtocol(sim::Simulator& sim, ProcessId id,
-                                           DvConfig config)
-    : SessionProtocolBase(sim, id, /*max_phases=*/1),
+NaiveDynamicProtocol::NaiveDynamicProtocol(sim::Transport& transport,
+                                           ProcessId id, DvConfig config)
+    : SessionProtocolBase(transport, id, /*max_phases=*/1),
       state_(ProtocolState::initial(config.core, id)),
       config_(std::move(config)) {
   persist();
 }
+
+NaiveDynamicProtocol::NaiveDynamicProtocol(sim::Simulator& sim, ProcessId id,
+                                           DvConfig config)
+    : NaiveDynamicProtocol(sim.transport(), id, std::move(config)) {}
 
 void NaiveDynamicProtocol::persist() {
   Encoder& enc = scratch_encoder();

@@ -21,6 +21,8 @@ namespace dynvote {
 
 class NaiveDynamicProtocol : public SessionProtocolBase {
  public:
+  NaiveDynamicProtocol(sim::Transport& transport, ProcessId id,
+                       DvConfig config);
   NaiveDynamicProtocol(sim::Simulator& sim, ProcessId id, DvConfig config);
 
   [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }

@@ -1,14 +1,20 @@
 #include "baselines/static_majority.hpp"
 
 #include "quorum/linear_order.hpp"
+#include "sim/simulator.hpp"
 
 namespace dynvote {
+
+StaticMajorityProtocol::StaticMajorityProtocol(sim::Transport& transport,
+                                               ProcessId id,
+                                               StaticMajorityConfig config)
+    : SessionProtocolBase(transport, id, /*max_phases=*/0),
+      config_(std::move(config)) {}
 
 StaticMajorityProtocol::StaticMajorityProtocol(sim::Simulator& sim,
                                                ProcessId id,
                                                StaticMajorityConfig config)
-    : SessionProtocolBase(sim, id, /*max_phases=*/0),
-      config_(std::move(config)) {}
+    : StaticMajorityProtocol(sim.transport(), id, std::move(config)) {}
 
 void StaticMajorityProtocol::begin_session(const View& view) {
   const ProcessSet& M = view.members;

@@ -22,6 +22,8 @@ struct StaticMajorityConfig {
 
 class StaticMajorityProtocol : public SessionProtocolBase {
  public:
+  StaticMajorityProtocol(sim::Transport& transport, ProcessId id,
+                         StaticMajorityConfig config);
   StaticMajorityProtocol(sim::Simulator& sim, ProcessId id,
                          StaticMajorityConfig config);
 

@@ -20,6 +20,9 @@ namespace dynvote {
 
 class ThreePhaseRecoveryProtocol : public BasicDvProtocol {
  public:
+  ThreePhaseRecoveryProtocol(sim::Transport& transport, ProcessId id,
+                             DvConfig config)
+      : BasicDvProtocol(transport, id, std::move(config), /*max_phases=*/5) {}
   ThreePhaseRecoveryProtocol(sim::Simulator& sim, ProcessId id, DvConfig config)
       : BasicDvProtocol(sim, id, std::move(config), /*max_phases=*/5) {}
 

@@ -84,13 +84,22 @@ Eligibility evaluate_eligibility(const QuorumCalculus& calc,
   return {true, "sub-quorum of Max_Primary and all ambiguous attempts"};
 }
 
+BasicDvProtocol::BasicDvProtocol(sim::Transport& transport, ProcessId id,
+                                 DvConfig config)
+    : BasicDvProtocol(transport, id, std::move(config), /*max_phases=*/2) {}
+
 BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
                                  DvConfig config)
-    : BasicDvProtocol(sim, id, std::move(config), /*max_phases=*/2) {}
+    : BasicDvProtocol(sim.transport(), id, std::move(config),
+                      /*max_phases=*/2) {}
 
 BasicDvProtocol::BasicDvProtocol(sim::Simulator& sim, ProcessId id,
                                  DvConfig config, int max_phases)
-    : SessionProtocolBase(sim, id, max_phases),
+    : BasicDvProtocol(sim.transport(), id, std::move(config), max_phases) {}
+
+BasicDvProtocol::BasicDvProtocol(sim::Transport& transport, ProcessId id,
+                                 DvConfig config, int max_phases)
+    : SessionProtocolBase(transport, id, max_phases),
       state_(ProtocolState::initial(config.core, id)),
       config_(std::move(config)),
       wal_(storage(),

@@ -99,6 +99,7 @@ struct Eligibility {
 
 class BasicDvProtocol : public SessionProtocolBase {
  public:
+  BasicDvProtocol(sim::Transport& transport, ProcessId id, DvConfig config);
   BasicDvProtocol(sim::Simulator& sim, ProcessId id, DvConfig config);
 
   [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }
@@ -120,6 +121,8 @@ class BasicDvProtocol : public SessionProtocolBase {
  protected:
   /// For subclasses with extra rounds (the three-phase-recovery
   /// baseline): `max_phases` broadcast rounds, form on the last.
+  BasicDvProtocol(sim::Transport& transport, ProcessId id, DvConfig config,
+                  int max_phases);
   BasicDvProtocol(sim::Simulator& sim, ProcessId id, DvConfig config,
                   int max_phases);
 

@@ -27,7 +27,11 @@ std::size_t CentralizedPayload::encoded_size() const {
 
 CentralizedDvProtocol::CentralizedDvProtocol(sim::Simulator& sim, ProcessId id,
                                              DvConfig config)
-    : ProtocolNode(sim, id),
+    : CentralizedDvProtocol(sim.transport(), id, std::move(config)) {}
+
+CentralizedDvProtocol::CentralizedDvProtocol(sim::Transport& transport,
+                                             ProcessId id, DvConfig config)
+    : ProtocolNode(transport, id),
       state_(ProtocolState::initial(config.core, id)),
       config_(std::move(config)),
       wal_(storage(),

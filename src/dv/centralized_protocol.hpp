@@ -55,6 +55,8 @@ class CentralizedPayload final : public sim::MessagePayload {
 
 class CentralizedDvProtocol : public ProtocolNode {
  public:
+  CentralizedDvProtocol(sim::Transport& transport, ProcessId id,
+                        DvConfig config);
   CentralizedDvProtocol(sim::Simulator& sim, ProcessId id, DvConfig config);
 
   [[nodiscard]] const ProtocolState& state() const noexcept { return state_; }

@@ -5,11 +5,15 @@
 
 namespace dynvote {
 
-SessionProtocolBase::SessionProtocolBase(sim::Simulator& sim, ProcessId id,
-                                         int max_phases)
-    : ProtocolNode(sim, id), max_phases_(max_phases) {
+SessionProtocolBase::SessionProtocolBase(sim::Transport& transport,
+                                         ProcessId id, int max_phases)
+    : ProtocolNode(transport, id), max_phases_(max_phases) {
   ensure(max_phases_ >= 0, "negative phase count");
 }
+
+SessionProtocolBase::SessionProtocolBase(sim::Simulator& sim, ProcessId id,
+                                         int max_phases)
+    : SessionProtocolBase(sim.transport(), id, max_phases) {}
 
 void SessionProtocolBase::on_view(const View& view) {
   // "Set Is_Primary to FALSE" — step 1 of every session (paper fig. 1).

@@ -42,6 +42,7 @@ class SessionProtocolBase : public ProtocolNode {
   using PhaseMessages = std::map<ProcessId, std::shared_ptr<const PhasedPayload>>;
 
  protected:
+  SessionProtocolBase(sim::Transport& transport, ProcessId id, int max_phases);
   SessionProtocolBase(sim::Simulator& sim, ProcessId id, int max_phases);
 
   // -- Node hooks (final: the lifecycle is owned here) ----------------------

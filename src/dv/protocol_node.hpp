@@ -22,6 +22,10 @@ namespace dynvote {
 
 class ProtocolNode : public sim::Node {
  public:
+  ProtocolNode(sim::Transport& transport, ProcessId id)
+      : sim::Node(transport, id) {}
+  /// Convenience for simulator-driven code: Node resolves the
+  /// simulator's transport.
   ProtocolNode(sim::Simulator& sim, ProcessId id) : sim::Node(sim, id) {}
 
   void set_observer(ProtocolObserver* observer) noexcept {

@@ -48,30 +48,34 @@ bool is_consistent_protocol(ProtocolKind kind) noexcept {
 }
 
 std::unique_ptr<ProtocolNode> make_protocol(ProtocolKind kind,
-                                            sim::Simulator& sim, ProcessId id,
-                                            DvConfig config) {
+                                            sim::Transport& transport,
+                                            ProcessId id, DvConfig config) {
   switch (kind) {
     case ProtocolKind::kBasic:
-      return std::make_unique<BasicDvProtocol>(sim, id, std::move(config));
+      return std::make_unique<BasicDvProtocol>(transport, id,
+                                               std::move(config));
     case ProtocolKind::kOptimized:
-      return std::make_unique<OptimizedDvProtocol>(sim, id, std::move(config));
+      return std::make_unique<OptimizedDvProtocol>(transport, id,
+                                                   std::move(config));
     case ProtocolKind::kCentralized:
-      return std::make_unique<CentralizedDvProtocol>(sim, id, std::move(config));
+      return std::make_unique<CentralizedDvProtocol>(transport, id,
+                                                     std::move(config));
     case ProtocolKind::kStaticMajority:
       return std::make_unique<StaticMajorityProtocol>(
-          sim, id, StaticMajorityConfig{config.core, false});
+          transport, id, StaticMajorityConfig{config.core, false});
     case ProtocolKind::kNaiveDynamic:
-      return std::make_unique<NaiveDynamicProtocol>(sim, id, std::move(config));
+      return std::make_unique<NaiveDynamicProtocol>(transport, id, std::move(config));
     case ProtocolKind::kLastAttemptOnly:
-      return std::make_unique<LastAttemptOnlyProtocol>(sim, id,
+      return std::make_unique<LastAttemptOnlyProtocol>(transport, id,
                                                        std::move(config));
     case ProtocolKind::kBlockingDynamic:
-      return std::make_unique<BlockingDynamicProtocol>(sim, id,
+      return std::make_unique<BlockingDynamicProtocol>(transport, id,
                                                        std::move(config));
     case ProtocolKind::kHybridJm:
-      return std::make_unique<HybridJmProtocol>(sim, id, std::move(config));
+      return std::make_unique<HybridJmProtocol>(transport, id,
+                                                  std::move(config));
     case ProtocolKind::kThreePhaseRecovery:
-      return std::make_unique<ThreePhaseRecoveryProtocol>(sim, id,
+      return std::make_unique<ThreePhaseRecoveryProtocol>(transport, id,
                                                           std::move(config));
   }
   ensure(false, "unknown protocol kind");

@@ -45,11 +45,13 @@ enum class ProtocolKind {
 /// components; false for the two deliberately broken baselines.
 [[nodiscard]] bool is_consistent_protocol(ProtocolKind kind) noexcept;
 
-/// Constructs a protocol node of the given kind. The DvConfig is
+/// Constructs a protocol node of the given kind over any Transport
+/// (the simulator's or the thread runtime's). The DvConfig is
 /// interpreted by each variant as documented on its class; the static
 /// baseline uses only `core`.
 [[nodiscard]] std::unique_ptr<ProtocolNode> make_protocol(
-    ProtocolKind kind, sim::Simulator& sim, ProcessId id, DvConfig config);
+    ProtocolKind kind, sim::Transport& transport, ProcessId id,
+    DvConfig config);
 
 /// Application-facing handle over one process's protocol instance.
 class PrimaryComponentService {

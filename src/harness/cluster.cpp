@@ -92,7 +92,7 @@ void Cluster::on_topology_for_misses() {
 }
 
 void Cluster::add_process(ProcessId p) {
-  auto node = make_protocol(options_.kind, sim_, p, config_);
+  auto node = make_protocol(options_.kind, sim_.transport(), p, config_);
   node->set_observer(&observers_);
   sim_.add_node(std::move(node));
   process_ids_.push_back(p);

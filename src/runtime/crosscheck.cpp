@@ -1,0 +1,230 @@
+#include "runtime/crosscheck.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "harness/cluster.hpp"
+#include "runtime/fleet.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace dynvote::runtime {
+
+namespace {
+
+/// Kinds whose outcome is provably arrival-order independent (every
+/// phase waits for all members); only these may be cross-checked.
+bool deterministic_outcome(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kBasic:
+    case ProtocolKind::kOptimized:
+    case ProtocolKind::kThreePhaseRecovery:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The canonical transcript of a DES run, in the exact format of
+/// RuntimeFleet::outcome_summary(): the simulator records all processes
+/// into one sink, so filter per process (order within one process is
+/// preserved) and append each node's final state.
+std::string cluster_summary(Cluster& cluster) {
+  std::string out;
+  for (ProcessId p : cluster.all_processes()) {
+    out += to_string(p) + ":";
+    for (const obs::TraceEvent& event : cluster.sim().trace().events()) {
+      if (event.a != p) continue;
+      switch (event.kind) {
+        case obs::TraceEventKind::kViewInstalled:
+          out += " V" + std::to_string(event.number) + "=" +
+                 to_string(event.members);
+          break;
+        case obs::TraceEventKind::kSessionFormed:
+          out += " F" + std::to_string(event.number) + "r" +
+                 std::to_string(event.value) + "=" + to_string(event.members);
+          break;
+        default:
+          break;
+      }
+    }
+    const ProtocolNode& node = cluster.protocol(p);
+    out += " | primary=" + to_string(node.primary_session()) +
+           " formed=" + std::to_string(node.formed_count()) + "\n";
+  }
+  return out;
+}
+
+/// C1 at a quiescent point of the DES: distinct primary sessions among
+/// live processes (the same predicate RuntimeFleet::distinct_primaries
+/// applies to a probe snapshot).
+std::size_t cluster_distinct_primaries(Cluster& cluster) {
+  std::set<Session> sessions;
+  for (ProcessId p : cluster.all_processes()) {
+    if (!cluster.sim().network().alive(p)) continue;
+    const ProtocolNode& node = cluster.protocol(p);
+    if (node.is_primary() && node.primary_session()) {
+      sessions.insert(*node.primary_session());
+    }
+  }
+  return sessions.size();
+}
+
+}  // namespace
+
+std::string ScenarioStep::to_string() const {
+  switch (kind) {
+    case Kind::kMerge:
+      return "merge";
+    case Kind::kCrash:
+      return "crash " + dynvote::to_string(p);
+    case Kind::kRecover:
+      return "recover " + dynvote::to_string(p);
+    case Kind::kPartition: {
+      std::string out = "partition";
+      for (const ProcessSet& group : groups) out += " " + group.to_string();
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::vector<ScenarioStep> make_scenario(std::uint32_t n, std::uint64_t seed,
+                                        std::size_t steps) {
+  ensure(n >= 2, "scenario needs at least two processes");
+  Rng rng(seed);
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+  std::vector<ScenarioStep> script;
+  script.reserve(steps);
+
+  auto pick = [&](bool want_alive) {
+    std::uint32_t idx =
+        static_cast<std::uint32_t>(rng.next_below(n));
+    while (alive[idx] != want_alive) idx = (idx + 1) % n;
+    return idx;
+  };
+
+  while (script.size() < steps) {
+    ScenarioStep step;
+    switch (rng.next_below(4)) {
+      case 0: {  // partition all ids into 2-3 groups
+        std::vector<ProcessId> ids;
+        for (std::uint32_t i = 0; i < n; ++i) ids.push_back(ProcessId(i));
+        rng.shuffle(ids);
+        const std::size_t k =
+            std::min<std::size_t>(2 + rng.next_below(2), ids.size());
+        step.kind = ScenarioStep::Kind::kPartition;
+        step.groups.resize(k);
+        // Every group gets one seed member; the rest land uniformly.
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          const std::size_t g = i < k ? i : rng.next_below(k);
+          step.groups[g].insert(ids[i]);
+        }
+        break;
+      }
+      case 1:
+        step.kind = ScenarioStep::Kind::kMerge;
+        break;
+      case 2: {
+        if (alive_count <= 1) continue;  // keep one process up
+        step.kind = ScenarioStep::Kind::kCrash;
+        const std::uint32_t idx = pick(true);
+        step.p = ProcessId(idx);
+        alive[idx] = false;
+        --alive_count;
+        break;
+      }
+      case 3: {
+        if (alive_count == n) continue;  // nobody to recover
+        step.kind = ScenarioStep::Kind::kRecover;
+        const std::uint32_t idx = pick(false);
+        step.p = ProcessId(idx);
+        alive[idx] = true;
+        ++alive_count;
+        break;
+      }
+    }
+    script.push_back(std::move(step));
+  }
+  return script;
+}
+
+CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
+                              std::uint64_t seed, std::size_t steps) {
+  ensure(deterministic_outcome(kind),
+         std::string("cross-check does not cover protocol kind ") +
+             dynvote::to_string(kind));
+  const std::vector<ScenarioStep> script = make_scenario(n, seed, steps);
+
+  CrossCheckResult result;
+  result.seed = seed;
+  result.c1_clean = true;
+
+  {  // DES run
+    ClusterOptions options;
+    options.kind = kind;
+    options.n = n;
+    options.sim.seed = seed;
+    Cluster cluster(options);
+    cluster.start();
+    result.c1_clean &= cluster_distinct_primaries(cluster) <= 1;
+    for (const ScenarioStep& step : script) {
+      switch (step.kind) {
+        case ScenarioStep::Kind::kPartition:
+          cluster.partition(step.groups);
+          break;
+        case ScenarioStep::Kind::kMerge:
+          cluster.merge();
+          break;
+        case ScenarioStep::Kind::kCrash:
+          cluster.crash(step.p);
+          break;
+        case ScenarioStep::Kind::kRecover:
+          cluster.recover(step.p);
+          break;
+      }
+      cluster.settle();
+      result.c1_clean &= cluster_distinct_primaries(cluster) <= 1;
+    }
+    result.sim_summary = cluster_summary(cluster);
+    result.sim_digest = fnv1a64(result.sim_summary);
+  }
+
+  {  // runtime run, same script
+    FleetOptions options;
+    options.kind = kind;
+    options.n = n;
+    RuntimeFleet fleet(options);
+    fleet.start();
+    result.c1_clean &=
+        RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
+    for (const ScenarioStep& step : script) {
+      switch (step.kind) {
+        case ScenarioStep::Kind::kPartition:
+          fleet.partition(step.groups);
+          break;
+        case ScenarioStep::Kind::kMerge:
+          fleet.merge();
+          break;
+        case ScenarioStep::Kind::kCrash:
+          fleet.crash(step.p);
+          break;
+        case ScenarioStep::Kind::kRecover:
+          fleet.recover(step.p);
+          break;
+      }
+      result.c1_clean &=
+          RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
+    }
+    fleet.stop();
+    result.runtime_summary = fleet.outcome_summary();
+    result.runtime_digest = fleet.outcome_digest();
+  }
+
+  result.digests_equal = result.sim_digest == result.runtime_digest &&
+                         result.sim_summary == result.runtime_summary;
+  return result;
+}
+
+}  // namespace dynvote::runtime

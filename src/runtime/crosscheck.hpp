@@ -1,0 +1,71 @@
+// Cross-check harness: the DES as oracle for the thread runtime.
+//
+// The argument that makes the comparison sound: the session protocols
+// wait for *all* view members in every phase, so a session's outcome
+// depends only on the view and the per-phase message sets — never on
+// arrival order within a phase. Both backends drive the identical
+// topology script through the identical view-announcement algorithm
+// (MembershipOracle in the DES, its verbatim mirror in RuntimeFleet)
+// and run each step to a fixed point (settle / quiesce) with no message
+// loss, so they install the same view sequence at every process and
+// therefore form the same primaries with the same session numbers,
+// memberships, and round counts. run_scenario() makes that equality
+// executable: one seeded script, both backends, digest comparison plus
+// per-step C1 checks.
+//
+// Scope: the deterministic-outcome argument covers the quiescent
+// protocols (kBasic, kOptimized, and the other all-member-wait
+// variants). It does NOT cover kCentralized (coordinator election's
+// tie-breaks are timing-dependent across backends) — the harness
+// rejects kinds outside the allow-list rather than report spurious
+// divergence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dv/service.hpp"
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote::runtime {
+
+/// One topology verb of a scenario script.
+struct ScenarioStep {
+  enum class Kind : std::uint8_t { kPartition, kMerge, kCrash, kRecover };
+  Kind kind = Kind::kMerge;
+  std::vector<ProcessSet> groups;  // kPartition
+  ProcessId p;                     // kCrash / kRecover
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Deterministically expands (n, seed) into `steps` valid verbs:
+/// crashes only hit live processes (always leaving one), recoveries
+/// only dead ones, partitions split all n ids into 2-3 groups.
+[[nodiscard]] std::vector<ScenarioStep> make_scenario(std::uint32_t n,
+                                                      std::uint64_t seed,
+                                                      std::size_t steps);
+
+struct CrossCheckResult {
+  std::uint64_t seed = 0;
+  std::uint64_t sim_digest = 0;
+  std::uint64_t runtime_digest = 0;
+  bool digests_equal = false;
+  /// C1 held (<= 1 distinct live primary session) at every quiescent
+  /// point of both executions.
+  bool c1_clean = false;
+  /// Full transcripts, for diagnostics when digests diverge.
+  std::string sim_summary;
+  std::string runtime_summary;
+};
+
+/// Runs the seed's scenario on both backends and compares outcomes.
+/// Throws InvariantViolation for protocol kinds outside the
+/// deterministic-outcome allow-list.
+[[nodiscard]] CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
+                                            std::uint64_t seed,
+                                            std::size_t steps = 10);
+
+}  // namespace dynvote::runtime

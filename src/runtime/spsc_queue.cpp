@@ -1,0 +1,12 @@
+#include "runtime/spsc_queue.hpp"
+
+#include <cstdint>
+
+namespace dynvote::runtime {
+
+// Compile-time smoke check: the ring instantiates for trivially movable
+// payloads (the runtime's link items are aggregates of ints, shared_ptrs
+// and ProcessSets — all nothrow-movable).
+template class SpscQueue<std::uint64_t>;
+
+}  // namespace dynvote::runtime

@@ -1,0 +1,215 @@
+// ThreadTransport: the real-time backend — one OS thread per process.
+//
+// Implements sim::Transport over actual concurrency: every ordered
+// process pair is connected by a bounded lock-free SPSC ring
+// (runtime/spsc_queue.hpp), each process thread runs an event loop that
+// drains its inbound links, its control queue (views, crash/recover,
+// injected closures from the controller) and its private timer wheel,
+// and parks on a futex (std::atomic::wait) when idle. The clock is
+// monotonic microseconds since transport start.
+//
+// Semantics mirror sim::Network so the DES remains a valid oracle
+// (runtime/crosscheck.hpp holds both backends to identical outcomes):
+//
+//  * connectivity is component-based: connected(a,b) iff both alive and
+//    in the same component; set_components / merge_all / crash /
+//    recover reshape components exactly like Network's versions
+//    (a recovering process comes back as a fresh singleton);
+//  * every pair carries a link epoch, bumped on each disconnection; a
+//    message is stamped with the epoch at send and dropped at delivery
+//    if the link's epoch moved — a partition loses in-flight traffic
+//    (paper section 3);
+//  * per-pair FIFO is the ring's order; Lamport clocks advance exactly
+//    as in Network (send ticks the sender, delivery merges).
+//
+// Threading contract: the Transport surface is called only from
+// process threads (each process from its own thread — the sim::Node
+// handlers run there); the controller surface (start/stop, topology,
+// post_view, run_on, quiesce) only from the single controlling thread.
+// Observability state (trace/metrics/storage/logger/wheel) is
+// per-process and unsynchronized; the controller may touch it only
+// through run_on + quiesce, or after stop_and_join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "membership/view.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/timer_wheel.hpp"
+#include "sim/node.hpp"
+#include "sim/stable_storage.hpp"
+#include "sim/transport.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote::runtime {
+
+struct RuntimeOptions {
+  /// Capacity of each directed data link, in messages. The protocols
+  /// bound per-link depth by their phase structure (at most a handful
+  /// outstanding), so this is backpressure headroom, not a tuning knob.
+  std::size_t link_capacity = 256;
+  /// Capacity of each controller->process control queue.
+  std::size_t control_capacity = 128;
+  /// Timer-wheel slot granularity, microseconds.
+  SimTime wheel_tick_us = 1024;
+  /// Per-process logger threshold.
+  LogLevel log_level = LogLevel::kWarn;
+  /// Per-process trace-ring capacity (0 = unbounded, as the cross-check
+  /// digests need the full kSessionFormed history).
+  std::size_t trace_capacity = 0;
+};
+
+class ThreadTransport final : public sim::Transport {
+ public:
+  explicit ThreadTransport(const std::vector<ProcessId>& processes,
+                           RuntimeOptions options = {});
+  ~ThreadTransport() override;
+
+  ThreadTransport(const ThreadTransport&) = delete;
+  ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+  // -- Transport surface (process-thread side) ------------------------------
+
+  void send(sim::Envelope env) override;
+  [[nodiscard]] SimTime now() const override;
+  sim::TimerToken schedule_timer(ProcessId p, SimTime delay,
+                                 sim::TimerAction action) override;
+  bool cancel_timer(ProcessId p, sim::TimerToken token) override;
+  [[nodiscard]] sim::StableStorage& storage(ProcessId p) override;
+  [[nodiscard]] obs::TraceSink& trace(ProcessId p) override;
+  [[nodiscard]] obs::MetricsRegistry& metrics(ProcessId p) override;
+  std::uint64_t lamport_tick(ProcessId p) override;
+  [[nodiscard]] std::uint64_t last_topology_eid(ProcessId p) const override;
+  void log(ProcessId p, LogLevel level, const std::string& message) override;
+
+  // -- controller surface ---------------------------------------------------
+
+  /// Attaches the node that runs on `node->id()`'s thread. All nodes
+  /// must be attached before start(); borrowed, must outlive stop.
+  void set_node(sim::Node* node);
+
+  /// Spawns one thread per process. Idempotent start/stop is not
+  /// supported: one lifecycle per transport.
+  void start();
+
+  /// Signals every thread to finish its remaining work and exit, then
+  /// joins them. Safe to call twice; the destructor calls it.
+  void stop_and_join();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Topology mirrors of sim::Network (call at quiescence only).
+  void set_components(const std::vector<ProcessSet>& groups);
+  void merge_all();
+  /// Runs node->crash() on p's thread and disconnects p (epoch bumps
+  /// lose its in-flight traffic), keeping its component assignment —
+  /// exactly Simulator::crash + Network::set_alive(p, false).
+  void crash(ProcessId p);
+  /// Runs node->recover() on p's thread and reconnects p as a fresh
+  /// singleton component — Network::set_alive(p, true).
+  void recover(ProcessId p);
+  [[nodiscard]] bool alive(ProcessId p) const;
+  /// Components with their dead members filtered out, sorted by
+  /// smallest member — the shape MembershipOracle consumes.
+  [[nodiscard]] std::vector<ProcessSet> live_components() const;
+
+  /// Enqueues deliver_view(view) on every member's thread (the runtime
+  /// analogue of the oracle's per-member scheduled delivery).
+  void post_view(const View& view);
+
+  /// Runs `fn` on p's thread (state probes; effects are visible to the
+  /// controller after the next quiesce()).
+  void run_on(ProcessId p, sim::TimerAction fn);
+
+  /// Blocks until no message, control item or handler is in flight
+  /// anywhere. With quiescent topology this is a global fixed point:
+  /// handlers only run on queued work, so inflight == 0 is stable.
+  void quiesce();
+
+  [[nodiscard]] const std::vector<ProcessId>& processes() const noexcept {
+    return ids_;
+  }
+
+ private:
+  struct ControlItem {
+    enum class Kind : std::uint8_t { kNone, kView, kCrash, kRecover, kRun };
+    Kind kind = Kind::kNone;
+    View view;            // kView
+    sim::TimerAction fn;  // kRun
+  };
+
+  struct LinkItem {
+    sim::Envelope env;
+    std::uint64_t epoch = 0;  // link epoch at send
+  };
+
+  /// Everything one process thread owns. The atomic work_seq is the
+  /// thread's futex word: producers bump-and-notify after pushing,
+  /// the thread re-reads it before parking (eventcount pattern, no
+  /// mutex anywhere on the message path).
+  struct Proc {
+    ProcessId id;
+    std::size_t index = 0;
+    sim::Node* node = nullptr;
+    std::thread thread;
+    std::atomic<std::uint32_t> work_seq{0};
+    TimerWheel wheel;
+    obs::TraceSink trace;
+    obs::MetricsRegistry metrics;
+    sim::StableStorage storage;
+    Logger logger;
+    std::uint64_t lamport = 0;        // thread-owned
+    std::uint64_t last_topo_eid = 0;  // thread-owned
+    std::unique_ptr<SpscQueue<ControlItem>> control;
+    /// Inbound data links, indexed by sender slot.
+    std::vector<std::unique_ptr<SpscQueue<LinkItem>>> in;
+    /// Controller-side bookkeeping (controller thread only).
+    std::uint32_t component = 0;
+    bool ctl_alive = true;
+
+    Proc(ProcessId pid, std::size_t idx, const RuntimeOptions& options);
+  };
+
+  [[nodiscard]] Proc& proc(ProcessId p);
+  [[nodiscard]] const Proc& proc(ProcessId p) const;
+  [[nodiscard]] std::size_t index_of(ProcessId p) const;
+
+  /// pair_state_[a*n+b]: (epoch << 1) | connected. Controller writes
+  /// (release), sender/receiver threads read (acquire).
+  [[nodiscard]] std::atomic<std::uint64_t>& pair_state(std::size_t a,
+                                                       std::size_t b) {
+    return pair_state_[a * ids_.size() + b];
+  }
+  /// Recomputes connectivity from components + liveness, bumping the
+  /// epoch of every pair that transitions connected -> disconnected.
+  void refresh_connectivity();
+
+  void post_control(ProcessId p, ControlItem item);
+  void bump_work(Proc& target);
+
+  void thread_main(Proc& me);
+  void handle_control(Proc& me, ControlItem& item);
+  void handle_message(Proc& me, LinkItem& item);
+
+  RuntimeOptions options_;
+  std::vector<ProcessId> ids_;
+  std::vector<std::unique_ptr<Proc>> procs_;  // stable addresses
+  std::vector<std::atomic<std::uint64_t>> pair_state_;
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  bool joined_ = false;
+  std::uint32_t next_component_ = 1;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace dynvote::runtime

@@ -1,0 +1,95 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace dynvote::runtime {
+
+TimerWheel::TimerWheel(SimTime tick_us) : tick_(tick_us) {
+  ensure(tick_ > 0, "timer wheel tick must be positive");
+}
+
+sim::TimerToken TimerWheel::schedule_at(SimTime deadline,
+                                        sim::TimerAction action) {
+  ensure(static_cast<bool>(action), "scheduling an empty timer action");
+  const sim::TimerToken token = next_token_++;
+  const std::size_t slot = slot_of(deadline);
+  slots_[slot].push_back(Entry{deadline, token, std::move(action)});
+  token_slot_.emplace(token, slot);
+  ++pending_;
+  return token;
+}
+
+bool TimerWheel::cancel(sim::TimerToken token) {
+  auto it = token_slot_.find(token);
+  if (it == token_slot_.end()) return false;
+  auto& slot = slots_[it->second];
+  for (auto entry = slot.begin(); entry != slot.end(); ++entry) {
+    if (entry->token == token) {
+      slot.erase(entry);
+      token_slot_.erase(it);
+      --pending_;
+      return true;
+    }
+  }
+  ensure(false, "timer wheel token map out of sync");
+  return false;
+}
+
+std::size_t TimerWheel::advance(SimTime now) {
+  const std::uint64_t to_tick = now / tick_;
+  ensure(to_tick >= cursor_tick_, "timer wheel clock went backwards");
+  if (pending_ == 0) {
+    cursor_tick_ = to_tick;
+    return 0;
+  }
+
+  // Scan every slot the cursor passes over — capped at one revolution,
+  // after which the scan has seen every slot once and more passes
+  // cannot surface anything new.
+  const std::uint64_t span =
+      std::min<std::uint64_t>(to_tick - cursor_tick_ + 1, kSlots);
+  std::vector<Entry> due;
+  for (std::uint64_t i = 0; i < span; ++i) {
+    auto& slot = slots_[static_cast<std::size_t>((cursor_tick_ + i) % kSlots)];
+    for (std::size_t j = 0; j < slot.size();) {
+      if (slot[j].deadline <= now) {
+        due.push_back(std::move(slot[j]));
+        slot[j] = std::move(slot.back());
+        slot.pop_back();
+      } else {
+        ++j;
+      }
+    }
+  }
+  cursor_tick_ = to_tick;
+  if (due.empty()) return 0;
+
+  // Deterministic firing order regardless of slot hashing: by deadline,
+  // ties by schedule order (tokens are issued monotonically).
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline < b.deadline ||
+           (a.deadline == b.deadline && a.token < b.token);
+  });
+  for (Entry& entry : due) {
+    token_slot_.erase(entry.token);
+    --pending_;
+    entry.action();
+  }
+  return due.size();
+}
+
+std::optional<SimTime> TimerWheel::next_deadline() const {
+  if (pending_ == 0) return std::nullopt;
+  std::optional<SimTime> earliest;
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      if (!earliest || entry.deadline < *earliest) earliest = entry.deadline;
+    }
+  }
+  return earliest;
+}
+
+}  // namespace dynvote::runtime

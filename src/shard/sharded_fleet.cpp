@@ -80,7 +80,7 @@ ShardedFleet::ShardedFleet(ShardedFleetOptions options)
       group.observers->add(metrics_observer_.get());
     }
     for (ProcessId p : group.members) {
-      auto node = make_protocol(options_.kind, sim_, p, config);
+      auto node = make_protocol(options_.kind, sim_.transport(), p, config);
       node->set_observer(group.observers.get());
       sim_.add_node(std::move(node));
     }

@@ -6,7 +6,16 @@
 
 namespace dynvote::sim {
 
+// The SBO budget is chosen so one heap entry is exactly two cache
+// lines; a capacity bump that silently fattens every scheduled event
+// must fail here, not in a profile.
+static_assert(sizeof(EventQueue::Action) == 112,
+              "Action = 88-byte SBO + 3 dispatch pointers");
+static_assert(alignof(EventQueue::Action) == alignof(std::max_align_t),
+              "SBO storage must hold max-aligned captures");
+
 EventToken EventQueue::schedule_at(SimTime t, Action action) {
+  static_assert(sizeof(Entry) == 128, "one event entry = two cache lines");
   ensure(t >= now_, "scheduling into the past");
   ensure(static_cast<bool>(action), "scheduling an empty action");
   EventToken token = next_token_++;

@@ -27,10 +27,13 @@ using EventToken = std::uint64_t;
 
 class EventQueue {
  public:
-  /// Inline capacity covers the network's delivery closure (an Envelope
-  /// plus a pointer and an epoch) with headroom; larger captures fall
-  /// back to one heap box, never silently truncate.
-  using Action = InlineFunction<void(), 104>;
+  /// Inline capacity (the 88-byte InlineFunction default) covers the
+  /// network's delivery closure (an Envelope plus a pointer and an
+  /// epoch, 64 bytes) with headroom while keeping one heap entry at
+  /// exactly two cache lines; larger captures fall back to one heap
+  /// box, never silently truncate. Same type as sim::TimerAction, so
+  /// Transport::schedule_timer forwards into the queue move-only.
+  using Action = InlineFunction<void()>;
 
   /// How a bounded run ended: the queue ran dry, or the event budget was
   /// exhausted with work still pending (a runaway schedule).

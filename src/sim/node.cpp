@@ -7,7 +7,10 @@
 
 namespace dynvote::sim {
 
-Node::Node(Simulator& sim, ProcessId id) : sim_(sim), id_(id) {}
+Node::Node(Transport& transport, ProcessId id)
+    : transport_(transport), id_(id) {}
+
+Node::Node(Simulator& sim, ProcessId id) : Node(sim.transport(), id) {}
 
 Node::~Node() = default;
 
@@ -67,32 +70,40 @@ void Node::recover() {
 
 void Node::send(ProcessId to, PayloadPtr payload) {
   ensure(view_.has_value(), "send outside a view");
-  sim_.network().send(Envelope{id_, to, view_->id, std::move(payload)});
+  transport_.send(Envelope{id_, to, view_->id, std::move(payload)});
 }
 
 void Node::broadcast(PayloadPtr payload) {
   ensure(view_.has_value(), "broadcast outside a view");
   for (ProcessId member : view_->members) {
-    sim_.network().send(Envelope{id_, member, view_->id, payload});
+    transport_.send(Envelope{id_, member, view_->id, payload});
   }
 }
 
-StableStorage& Node::storage() { return sim_.storage(id_); }
+StableStorage& Node::storage() { return transport_.storage(id_); }
 
-SimTime Node::now() const { return sim_.now(); }
+SimTime Node::now() const { return transport_.now(); }
 
-obs::TraceSink& Node::trace() { return sim_.trace(); }
+TimerToken Node::schedule_timer(SimTime delay, TimerAction action) {
+  return transport_.schedule_timer(id_, delay, std::move(action));
+}
 
-obs::MetricsRegistry& Node::metrics() { return sim_.metrics(); }
+bool Node::cancel_timer(TimerToken token) {
+  return transport_.cancel_timer(id_, token);
+}
 
-std::uint64_t Node::lamport_tick() { return sim_.network().lamport_tick(id_); }
+obs::TraceSink& Node::trace() { return transport_.trace(id_); }
+
+obs::MetricsRegistry& Node::metrics() { return transport_.metrics(id_); }
+
+std::uint64_t Node::lamport_tick() { return transport_.lamport_tick(id_); }
 
 std::uint64_t Node::last_topology_eid() const {
-  return sim_.network().last_topology_eid(id_);
+  return transport_.last_topology_eid(id_);
 }
 
 void Node::log(LogLevel level, const std::string& message) const {
-  sim_.logger().log(sim_.now(), level, to_string(id_), message);
+  transport_.log(id_, level, message);
 }
 
 }  // namespace dynvote::sim

@@ -20,22 +20,24 @@
 
 #include "membership/view.hpp"
 #include "sim/message.hpp"
+#include "sim/transport.hpp"
 #include "util/ids.hpp"
 #include "util/log.hpp"
-
-namespace dynvote::obs {
-class MetricsRegistry;
-class TraceSink;
-}  // namespace dynvote::obs
 
 namespace dynvote::sim {
 
 class Simulator;
-class StableStorage;
 
 class Node {
  public:
+  /// A node lives on a Transport (sim/transport.hpp): the simulator's
+  /// event queue or the thread-per-process runtime backend.
+  Node(Transport& transport, ProcessId id);
+
+  /// Convenience for simulator-driven code and tests: equivalent to
+  /// Node(sim.transport(), id).
   Node(Simulator& sim, ProcessId id);
+
   virtual ~Node();
 
   Node(const Node&) = delete;
@@ -84,9 +86,14 @@ class Node {
   /// receive its own round messages too.
   void broadcast(PayloadPtr payload);
 
-  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
   [[nodiscard]] StableStorage& storage();
   [[nodiscard]] SimTime now() const;
+
+  /// Schedules `action` in this process's execution context after
+  /// `delay` clock units; cancel_timer revokes a pending one.
+  TimerToken schedule_timer(SimTime delay, TimerAction action);
+  bool cancel_timer(TimerToken token);
 
   /// The simulation's structured trace sink / metrics registry, so
   /// protocol layers can record events without including simulator.hpp.
@@ -104,7 +111,7 @@ class Node {
   void log(LogLevel level, const std::string& message) const;
 
  private:
-  Simulator& sim_;
+  Transport& transport_;
   ProcessId id_;
   bool alive_ = true;
   std::optional<View> view_;

@@ -14,6 +14,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
+#include "sim/sim_transport.hpp"
 #include "sim/stable_storage.hpp"
 #include "util/ids.hpp"
 #include "util/log.hpp"
@@ -36,6 +37,10 @@ class Simulator {
   [[nodiscard]] Logger& logger() noexcept { return logger_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] Network& network() noexcept { return network_; }
+
+  /// The Transport face of this simulator (sim/transport.hpp): what
+  /// protocol nodes are constructed against.
+  [[nodiscard]] SimTransport& transport() noexcept { return transport_; }
 
   /// Structured event trace for this execution (obs/trace.hpp). Message
   /// events are off by default; enable via trace().set_messages_enabled.
@@ -95,6 +100,7 @@ class Simulator {
   obs::TraceSink trace_;
   obs::MetricsRegistry metrics_;
   Network network_;  // references trace_/metrics_; keep it declared after
+  SimTransport transport_{*this};
   std::map<ProcessId, std::unique_ptr<Node>> nodes_;
   std::map<ProcessId, StableStorage> storages_;
 };

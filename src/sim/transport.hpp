@@ -1,0 +1,99 @@
+// Transport: the seam between the protocol layer and whatever carries
+// its messages.
+//
+// Every protocol node talks to the world through exactly this surface:
+// point-to-point sends, a clock, per-process timers, stable storage, and
+// the observability sinks (trace, metrics, logger, Lamport clock). Two
+// implementations exist:
+//
+//  * sim::SimTransport — the discrete-event simulator (sim/network.hpp
+//    behind sim/event_queue.hpp): virtual time, deterministic, the
+//    correctness oracle;
+//  * runtime::ThreadTransport — one OS thread per process connected by
+//    bounded lock-free SPSC rings, real monotonic time, a per-process
+//    timer wheel (src/runtime/).
+//
+// The protocol state machines (dv/, baselines/) are written once against
+// this interface and run unchanged on both; the cross-check harness
+// (runtime/crosscheck.hpp) holds them to identical outcomes.
+//
+// Threading contract: every method takes the acting ProcessId (or an
+// Envelope naming it). A call on behalf of process p may only be made
+// from p's execution context — the event-loop thread in the simulator
+// (trivially single-threaded) or p's own thread in the runtime backend.
+// Implementations rely on this to keep per-process state unsynchronized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/message.hpp"
+#include "util/ids.hpp"
+#include "util/inline_function.hpp"
+#include "util/log.hpp"
+
+namespace dynvote::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace dynvote::obs
+
+namespace dynvote::sim {
+
+class StableStorage;
+
+/// Handle for a scheduled timer (0 is never issued).
+using TimerToken = std::uint64_t;
+
+/// Timer callback. Shares the event queue's inline capacity so the
+/// simulator backend forwards actions without re-boxing them.
+using TimerAction = InlineFunction<void()>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one envelope. Delivery is asynchronous, per-pair FIFO, and
+  /// dropped when sender and receiver are not connected (or the link's
+  /// epoch changes while the message is in flight — a partition loses
+  /// in-flight traffic, paper section 3).
+  virtual void send(Envelope env) = 0;
+
+  /// The clock protocols timestamp their trace events with: virtual
+  /// ticks in the simulator, microseconds of monotonic time since
+  /// transport start in the runtime backend.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Schedules `action` to run in process p's execution context after
+  /// `delay` clock units. Returns a token for cancel_timer.
+  virtual TimerToken schedule_timer(ProcessId p, SimTime delay,
+                                    TimerAction action) = 0;
+
+  /// Cancels a pending timer; false if it already fired or was cancelled.
+  virtual bool cancel_timer(ProcessId p, TimerToken token) = 0;
+
+  /// Process p's stable storage: survives crashes, lost only by
+  /// crash_and_destroy_disk (paper footnote 4).
+  [[nodiscard]] virtual StableStorage& storage(ProcessId p) = 0;
+
+  /// Structured trace sink for p's events. The simulator shares one sink
+  /// across processes (globally ordered eids); the runtime backend keeps
+  /// one per process (eids are per-process there).
+  [[nodiscard]] virtual obs::TraceSink& trace(ProcessId p) = 0;
+
+  /// Counter/gauge/histogram registry for p's instruments.
+  [[nodiscard]] virtual obs::MetricsRegistry& metrics(ProcessId p) = 0;
+
+  /// Advances and returns p's Lamport clock — one tick per trace event a
+  /// protocol records for a local step.
+  virtual std::uint64_t lamport_tick(ProcessId p) = 0;
+
+  /// Trace-event id of the topology change that last reshaped p's
+  /// component (0 = none); the causal parent of view installs.
+  [[nodiscard]] virtual std::uint64_t last_topology_eid(ProcessId p) const = 0;
+
+  /// Structured log line attributed to p.
+  virtual void log(ProcessId p, LogLevel level,
+                   const std::string& message) = 0;
+};
+
+}  // namespace dynvote::sim

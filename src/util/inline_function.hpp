@@ -6,6 +6,14 @@
 // capturing a full Envelope (~64 bytes). InlineFunction stores callables
 // up to InlineSize bytes in place and falls back to a heap box above
 // that, so the common scheduling path performs no allocation at all.
+//
+// The default capacity is 88 bytes: with the three dispatch pointers
+// that makes sizeof(InlineFunction) == 112, and an EventQueue entry
+// (time + token + action) exactly two cache lines (128 bytes). The
+// largest hot closure — the network's delivery capture of {Network*,
+// Envelope, epoch} — is 64 bytes and stays inline; anything bigger
+// (the membership oracle's view closure, cold path) takes the box.
+// tests/perf_structures_test.cpp pins these sizes.
 #pragma once
 
 #include <cstddef>
@@ -18,7 +26,10 @@
 
 namespace dynvote {
 
-template <typename Signature, std::size_t InlineSize = 104>
+inline constexpr std::size_t kInlineFunctionDefaultCapacity = 88;
+
+template <typename Signature,
+          std::size_t InlineSize = kInlineFunctionDefaultCapacity>
 class InlineFunction;  // primary template; only R(Args...) is defined
 
 template <typename R, typename... Args, std::size_t InlineSize>

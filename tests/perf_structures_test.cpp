@@ -24,6 +24,7 @@
 #include "harness/sweep.hpp"
 #include "harness/trace_replay.hpp"
 #include "sim/event_queue.hpp"
+#include "util/inline_function.hpp"
 #include "util/process_set.hpp"
 #include "util/rng.hpp"
 
@@ -223,6 +224,87 @@ TEST(ProcessSetProperty, ErasingTheLastBigIdRestoresTheInlinePath) {
   EXPECT_EQ(s, ProcessSet::of({0, 5, 255}));
 }
 
+TEST(ProcessSetProperty, MixedRepresentationPairsAgreeAtTheMergeWalkBoundary) {
+  // The >= 2^20 mirror of MixedWidthPairsKeepTheWordWiseFastPath: one
+  // operand holds a huge id (sorted-vector merge-walk representation),
+  // the other stays on the bitset. Every predicate must agree with first
+  // principles in both argument orders, and the representations must be
+  // what the tier design says they are.
+  const std::uint32_t huge_id = ProcessSet::kDynamicIdLimit + 7;
+  ProcessSet bitset_side = ProcessSet::of({1, 3, 200, 1000});
+  ProcessSet huge_side = ProcessSet::of({1, 3, 200, 1000});
+  huge_side.insert(ProcessId(huge_id));
+  EXPECT_TRUE(bitset_side.uses_bitset());
+  EXPECT_FALSE(huge_side.uses_bitset());
+
+  EXPECT_EQ(bitset_side.intersection_size(huge_side), 4u);
+  EXPECT_EQ(huge_side.intersection_size(bitset_side), 4u);
+  EXPECT_TRUE(bitset_side.is_subset_of(huge_side));
+  EXPECT_FALSE(huge_side.is_subset_of(bitset_side));
+  EXPECT_TRUE(bitset_side.intersects(huge_side));
+  EXPECT_TRUE(huge_side.contains(ProcessId(huge_id)));
+  EXPECT_FALSE(bitset_side.contains(ProcessId(huge_id)));
+  EXPECT_TRUE(huge_side.contains_majority_of(bitset_side));
+  // {huge} alone intersects nothing below the boundary.
+  ProcessSet lone_huge;
+  lone_huge.insert(ProcessId(huge_id));
+  EXPECT_FALSE(lone_huge.intersects(bitset_side));
+  EXPECT_FALSE(lone_huge.contains_majority_of(bitset_side));
+  EXPECT_TRUE(lone_huge.is_subset_of(huge_side));
+
+  // Set algebra across mixed representations lands on the model answer.
+  const ProcessSet both = bitset_side.set_union(huge_side);
+  EXPECT_EQ(both.size(), 5u);
+  EXPECT_FALSE(both.uses_bitset());
+  EXPECT_EQ(bitset_side.set_intersection(huge_side), bitset_side);
+  EXPECT_EQ(huge_side.set_difference(bitset_side), lone_huge);
+  // Dropping the huge id from a union restores the bitset tier.
+  ProcessSet back = both;
+  EXPECT_TRUE(back.erase(ProcessId(huge_id)));
+  EXPECT_TRUE(back.uses_bitset());
+  EXPECT_EQ(back, bitset_side);
+}
+
+TEST(ProcessSetProperty, HugeTierWorkloadAgreesWithModel) {
+  // Pure merge-walk property run: both operands routinely carry ids far
+  // beyond kDynamicIdLimit (up to 4x), interleaved with small ids so the
+  // merge walk constantly crosses the boundary inside one operand.
+  Rng rng(20260809);
+  const std::uint32_t max_id = ProcessSet::kDynamicIdLimit * 4;
+  for (int round = 0; round < 300; ++round) {
+    Model ma = random_model(rng, max_id);
+    Model mb = random_model(rng, max_id);
+    // Force genuine boundary straddles: give each side one id on each
+    // side of the limit half the time.
+    if (rng.next_bool(0.5)) {
+      ma.insert(ProcessSet::kDynamicIdLimit +
+                static_cast<std::uint32_t>(rng.next_below(64)));
+      ma.insert(static_cast<std::uint32_t>(rng.next_below(64)));
+    }
+    if (rng.next_bool(0.5)) {
+      mb.insert(ProcessSet::kDynamicIdLimit - 1 -
+                static_cast<std::uint32_t>(rng.next_below(64)));
+      mb.insert(ProcessSet::kDynamicIdLimit +
+                static_cast<std::uint32_t>(rng.next_below(64)));
+    }
+    const ProcessSet a = from_model(ma);
+    const ProcessSet b = from_model(mb);
+    expect_matches_model(a, ma);
+    expect_matches_model(b, mb);
+    EXPECT_EQ(a.intersection_size(b), model_intersection(ma, mb).size());
+    EXPECT_EQ(a.intersects(b), !model_intersection(ma, mb).empty());
+    EXPECT_EQ(a.is_subset_of(b),
+              std::includes(mb.begin(), mb.end(), ma.begin(), ma.end()));
+    EXPECT_EQ(a.contains_majority_of(b),
+              2 * model_intersection(ma, mb).size() > mb.size());
+    EXPECT_EQ(a.contains_exact_half_of(b),
+              !mb.empty() && 2 * model_intersection(ma, mb).size() == mb.size());
+    expect_matches_model(a.set_union(b), model_union(ma, mb));
+    expect_matches_model(a.set_intersection(b), model_intersection(ma, mb));
+    expect_matches_model(a.set_difference(b), model_difference(ma, mb));
+  }
+}
+
 TEST(ProcessSetProperty, DegenerateQuorumPredicatesAreNotVacuouslyTrue) {
   // Paper 4.1's clause 2b splits a real previous quorum in half; an
   // empty `of` must not satisfy either succession predicate (2*0 == 0
@@ -237,6 +319,52 @@ TEST(ProcessSetProperty, DegenerateQuorumPredicatesAreNotVacuouslyTrue) {
   EXPECT_TRUE(ProcessSet::of({0, 1}).contains_exact_half_of(
       ProcessSet::of({0, 1, 2, 3})));
   EXPECT_FALSE(empty.contains_exact_half_of(ProcessSet::of({0, 1})));
+}
+
+// ---------------------------------------------------------------------------
+// InlineFunction: the cache-line budget of the event-queue hot path.
+
+TEST(InlineFunctionSize, EventQueueEntryIsExactlyTwoCacheLines) {
+  // The SBO capacity is chosen so time (8) + token (8) + action (112)
+  // pack one event entry into exactly two cache lines. Any change to
+  // kInlineFunctionDefaultCapacity or the dispatch-pointer layout that
+  // breaks this budget must be a conscious decision, not drift.
+  EXPECT_EQ(kInlineFunctionDefaultCapacity, 88u);
+  EXPECT_EQ(sizeof(InlineFunction<void()>),
+            kInlineFunctionDefaultCapacity + 3 * sizeof(void (*)()));
+  EXPECT_EQ(sizeof(InlineFunction<void()>), 112u);
+  EXPECT_EQ(alignof(InlineFunction<void()>), alignof(std::max_align_t));
+  // The queue's Action is the default-capacity type (not a wider
+  // specialization), so sim::TimerAction forwards into it without
+  // re-wrapping.
+  EXPECT_EQ(sizeof(sim::EventQueue::Action), sizeof(InlineFunction<void()>));
+}
+
+TEST(InlineFunctionSize, DeliverySizedCaptureFitsAndOversizedBoxWorks) {
+  // The hot delivery closure (~64 bytes of capture) must fit the SBO;
+  // an oversized capture must still work through the heap box, and both
+  // must survive the relocate path (EventQueue moves entries on heap
+  // sift). Behavior check — allocation counting would be brittle here.
+  struct Delivery {
+    unsigned char payload[64];
+  };
+  static_assert(sizeof(Delivery) <= kInlineFunctionDefaultCapacity);
+  Delivery d{};
+  d.payload[0] = 42;
+  InlineFunction<int()> inline_fn = [d] { return int{d.payload[0]}; };
+  InlineFunction<int()> moved = std::move(inline_fn);
+  EXPECT_FALSE(static_cast<bool>(inline_fn));
+  EXPECT_EQ(moved(), 42);
+
+  struct Oversized {
+    unsigned char payload[256];
+  };
+  static_assert(sizeof(Oversized) > kInlineFunctionDefaultCapacity);
+  Oversized big{};
+  big.payload[200] = 7;
+  InlineFunction<int()> boxed = [big] { return int{big.payload[200]}; };
+  InlineFunction<int()> boxed_moved = std::move(boxed);
+  EXPECT_EQ(boxed_moved(), 7);
 }
 
 // ---------------------------------------------------------------------------

@@ -26,7 +26,14 @@ the freshly generated one in lockstep:
     the baseline; the budget itself IS compared exactly, so a budget
     cannot loosen silently;
   * machine-dependent context (google-benchmark's "context" block,
-    pool_threads, dates) is skipped.
+    pool_threads, dates) is skipped;
+  * each recorded baseline carries a "host_fingerprint" block naming the
+    machine that produced it. When the comparing host's fingerprint
+    differs from the baseline's, timing-banded comparisons are skipped
+    entirely — absolute wall-clock from another machine is noise, not a
+    baseline. Budget gates still apply (current value vs current budget
+    is machine-local), and exact-match leaves still apply (determinism
+    does not depend on the host).
 
 The default tolerance is deliberately wide (75%): wall-clock on shared
 runners is noisy, and the checker's job is to catch the step-function
@@ -44,14 +51,49 @@ from __future__ import annotations
 
 import argparse
 import json
-import shutil
+import os
+import platform
 import sys
 from pathlib import Path
 
 # Keys whose numeric values measure time or throughput on the host
 # machine: tolerance-banded rather than exact.
-TIMING_MARKERS = ("wall", "_ms", "ms_", "time", "per_sec", "speedup", "ns",
-                  "cpu", "rate", "iterations")
+TIMING_MARKERS = ("wall", "_ms", "ms_", "_us", "us_", "time", "per_sec",
+                  "speedup", "ns", "cpu", "rate", "iterations")
+
+# Baseline-only annotation written by --update / auto-record; never
+# emitted by the benches themselves, so it is stripped before comparing.
+FINGERPRINT_KEY = "host_fingerprint"
+
+
+def host_fingerprint() -> dict:
+    """Identity of the machine producing wall-clock numbers."""
+    cpu_model = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 0,
+        "cpu_model": cpu_model,
+    }
+
+
+def record_baseline(current_path: Path, baseline_path: Path) -> None:
+    """Copies a result into the baselines, stamped with this host."""
+    with open(current_path) as f:
+        data = json.load(f)
+    data[FINGERPRINT_KEY] = host_fingerprint()
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(baseline_path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
 
 # Keys that depend on the machine or the moment, not the code: skipped.
 SKIP_KEYS = {"context", "date", "executable", "load_avg", "pool_threads",
@@ -78,7 +120,7 @@ class Report:
 
 
 def compare(baseline, current, path: str, timing: bool, tolerance: float,
-            report: Report) -> None:
+            report: Report, skip_timing: bool = False) -> None:
     if type(baseline) is not type(current) and not (
             isinstance(baseline, (int, float))
             and isinstance(current, (int, float))):
@@ -106,7 +148,8 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
                         f"{current[budget_key]:g}")
                 continue
             compare(baseline[key], current[key], f"{path}.{key}",
-                    timing or is_timing_key(key), tolerance, report)
+                    timing or is_timing_key(key), tolerance, report,
+                    skip_timing)
         for key in current:
             if key not in baseline and key not in SKIP_KEYS:
                 report.mismatches.append(
@@ -119,7 +162,8 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
                 f"{path}: length changed ({len(baseline)} -> {len(current)})")
             return
         for i, (b, c) in enumerate(zip(baseline, current)):
-            compare(b, c, f"{path}[{i}]", timing, tolerance, report)
+            compare(b, c, f"{path}[{i}]", timing, tolerance, report,
+                    skip_timing)
         return
     if isinstance(baseline, bool) or isinstance(current, bool):
         if baseline != current:
@@ -127,6 +171,11 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
         return
     if isinstance(baseline, (int, float)):
         if timing:
+            if skip_timing:
+                # Baseline came from a different machine; its absolute
+                # wall-clock is not comparable. Budget gates (handled at
+                # the dict level) are the only timing contract here.
+                return
             if baseline > 0 and current > baseline * (1.0 + tolerance):
                 report.regressions.append(
                     f"{path}: {baseline:g} -> {current:g} "
@@ -161,9 +210,8 @@ def main() -> int:
 
     current_files = sorted(args.results.glob("BENCH_*.json"))
     if args.update:
-        args.baselines.mkdir(parents=True, exist_ok=True)
         for f in current_files:
-            shutil.copy2(f, args.baselines / f.name)
+            record_baseline(f, args.baselines / f.name)
             print(f"baseline updated: {args.baselines / f.name}")
         return 0
 
@@ -185,10 +233,17 @@ def main() -> int:
             baseline = json.load(f)
         with open(current_path) as f:
             current = json.load(f)
+        # The fingerprint annotates the baseline; it is not bench output.
+        baseline_host = baseline.pop(FINGERPRINT_KEY, None)
+        current.pop(FINGERPRINT_KEY, None)
+        foreign = baseline_host is not None and baseline_host != host_fingerprint()
         report = Report()
         compare(baseline, current, baseline_path.stem, False, args.tolerance,
-                report)
+                report, skip_timing=foreign)
         status = "FAIL" if report.failed else "ok"
+        if foreign:
+            status += " (foreign-host baseline: timing bands skipped,"\
+                      " budgets enforced)"
         print(f"{status:4} {baseline_path.name}"
               f" ({len(report.regressions)} regressions,"
               f" {len(report.mismatches)} mismatches,"
@@ -207,8 +262,7 @@ def main() -> int:
     extra = [f for f in current_files
              if not (args.baselines / f.name).exists()]
     for current_path in extra:
-        args.baselines.mkdir(parents=True, exist_ok=True)
-        shutil.copy2(current_path, args.baselines / current_path.name)
+        record_baseline(current_path, args.baselines / current_path.name)
         print(f"no baseline, recording: {current_path.name} -> "
               f"{args.baselines / current_path.name}")
 

@@ -20,8 +20,9 @@
 # the baselines with `tools/check_perf.py --update` and commit them.
 #
 # Set DYNVOTE_SKIP_SANITIZERS=1 to skip the sanitizer passes: the
-# ASan/UBSan tier-1 run (build-asan/) and the TSan run of the sweep-pool
-# and persistence suites (build-tsan/ — TSan cannot share a tree with
+# ASan/UBSan tier-1 run (build-asan/) plus quick-mode bench_shards and
+# bench_runtime, and the TSan run of the sweep-pool, persistence and
+# thread-runtime suites (build-tsan/ — TSan cannot share a tree with
 # ASan, the runtimes conflict).
 set -e
 cd "$(dirname "$0")/.."
@@ -105,12 +106,22 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   echo "== bench_shards under ASan/UBSan (quick mode)"
   env -u DYNVOTE_JSON_DIR DYNVOTE_SHARDS_QUICK=1 build-asan/bench/bench_shards
 
-  # ThreadSanitizer over the code that actually runs multithreaded (the
-  # sweep pool) plus the persistence suite, whose WAL layer the sweep
-  # workers exercise concurrently, and the multi-group shard sweep
-  # (SweepShards.*), which runs whole fleets on the pool. TSan needs its
+  # The thread-runtime bench under ASan/UBSan, in quick mode (widths
+  # {4,8}, 3 cycles). Its phase 0 re-runs the DES-vs-runtime cross-check
+  # on 8 seeds, so a divergence under sanitizers fails the script here;
+  # JSON export is disabled so the quick payload cannot clobber the real
+  # results/BENCH_runtime.json.
+  echo "== bench_runtime under ASan/UBSan (quick mode)"
+  env -u DYNVOTE_JSON_DIR DYNVOTE_RUNTIME_QUICK=1 build-asan/bench/bench_runtime
+
+  # ThreadSanitizer over the code that actually runs multithreaded: the
+  # sweep pool plus the persistence suite, whose WAL layer the sweep
+  # workers exercise concurrently, the multi-group shard sweep
+  # (SweepShards.*), which runs whole fleets on the pool, and the
+  # thread-per-process runtime backend (RuntimeSpsc/Wheel/Fleet plus the
+  # DES cross-check, which drives real thread fleets). TSan needs its
   # own build tree.
-  echo "== sweep-pool + persistence tests under TSan (build-tsan/)"
+  echo "== sweep-pool + persistence + runtime tests under TSan (build-tsan/)"
   if [ -f build-tsan/CMakeCache.txt ]; then
     cmake -B build-tsan -DDYNVOTE_SANITIZE=thread
   else
@@ -118,7 +129,7 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.)'
+    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.|RuntimeSpsc\.|RuntimeWheel\.|RuntimeFleet\.|RuntimeCrossCheck\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
