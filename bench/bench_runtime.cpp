@@ -1,10 +1,13 @@
 // Wall-clock benchmark of the thread runtime (experiment C5, real time).
 //
-// Two phases:
+// Four phases:
 //
 //   (0) Correctness gate: the DES-as-oracle cross-check on 8 seeds for
-//       both paper protocols. The bench *refuses to report numbers from
-//       a runtime that diverges from the simulator* — exit 1.
+//       both paper protocols, each seed run probes-off AND probes-on.
+//       The bench *refuses to report numbers from a runtime that
+//       diverges from the simulator* — exit 1 — and likewise refuses if
+//       the wall-clock probe layer shifts any outcome digest
+//       (digest-neutrality: probes-on == probes-off == DES).
 //
 //   (1) Reconfiguration latency: for each protocol in {basic, optimized,
 //       three_phase_recovery} and fleet width n in {4, 8, 16, 32}
@@ -13,6 +16,20 @@
 //       change until every member of the forming component has formed
 //       the new primary (per-process formation timestamps come from a
 //       ProtocolObserver on the process threads). Reports p50/p99.
+//
+//   (2) Phase breakdown: the same churn with probe rings on, attributing
+//       each reconfiguration's wall time on its critical (last-forming)
+//       thread into queued / parked / executing / timer-slop buckets
+//       (obs/runtime_probe.hpp). The four buckets plus the unattributed
+//       residue sum to the wall time exactly; the bench gates the
+//       residue below 10%, which is what makes the breakdown a
+//       measurement rather than an accounting identity. The optimized
+//       protocol's raw probe document is exported for `dvtrace runtime`.
+//
+//   (3) Probe overhead: N adjacent probes-off/probes-on pairs of the
+//       phase-1 cell, CPU-timed, identical outcome digests required;
+//       overhead = max(0, min-pair-ratio - 1), gated < 5% (estimator
+//       rationale in bench/bench_shards.cpp).
 //
 // The paper's claim C5 in real time: [17]-style three-phase recovery
 // needs 5 communication rounds per formation where the paper's
@@ -27,10 +44,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/bench_report.hpp"
+#include "obs/runtime_probe.hpp"
 #include "runtime/crosscheck.hpp"
 #include "runtime/fleet.hpp"
 #include "util/table.hpp"
@@ -63,6 +83,23 @@ class FormationClock : public ProtocolObserver {
     return latest;
   }
 
+  /// The critical member: the one whose formation completed the
+  /// reconfiguration (latest formed_at). Only meaningful when
+  /// formed_by(members, t0) != 0.
+  [[nodiscard]] std::uint32_t critical(const ProcessSet& members) const {
+    std::uint32_t critical = 0;
+    std::uint64_t latest = 0;
+    for (ProcessId p : members) {
+      const std::uint64_t at =
+          formed_at_[p.value()].load(std::memory_order_relaxed);
+      if (at >= latest) {
+        latest = at;
+        critical = p.value();
+      }
+    }
+    return critical;
+  }
+
  private:
   std::vector<std::atomic<std::uint64_t>> formed_at_;
 };
@@ -83,13 +120,26 @@ struct LatencyRow {
   std::uint64_t p99_us = 0;
 };
 
-/// One partition/merge churn run; returns per-reconfiguration latencies
-/// (one sample per topology change, from issue to last member formed).
-std::vector<std::uint64_t> measure(ProtocolKind kind, std::uint32_t n,
-                                   int cycles) {
+struct MeasureOut {
+  std::vector<std::uint64_t> latencies;  // one per reconfiguration, us
+  std::uint64_t digest = 0;              // outcome digest after stop
+  /// Probes-only: one attributed window per reconfiguration, and the
+  /// final ring snapshot the windows were attributed on.
+  std::vector<obs::ReconfigWindow> windows;
+  std::vector<obs::ThreadProbeLog> logs;
+};
+
+/// One partition/merge churn run. With `collect_windows` (requires
+/// probes) the rings are snapshotted after every reconfiguration and
+/// the window attributed on its critical thread's lane — snapshots must
+/// be per-cycle because the rings overwrite in place, so waiting until
+/// the end could lose the early windows' entries.
+MeasureOut measure(ProtocolKind kind, std::uint32_t n, int cycles, bool probes,
+                   bool collect_windows) {
   FleetOptions options;
   options.kind = kind;
   options.n = n;
+  options.runtime.probes = probes;
   RuntimeFleet fleet(options);
   FormationClock clock(n);
   ProcessSet majority;
@@ -103,21 +153,125 @@ std::vector<std::uint64_t> measure(ProtocolKind kind, std::uint32_t n,
   }
   fleet.start();
 
-  std::vector<std::uint64_t> latencies;
-  latencies.reserve(static_cast<std::size_t>(cycles) * 2);
+  MeasureOut out;
+  out.latencies.reserve(static_cast<std::size_t>(cycles) * 2);
+  auto attribute = [&](const char* verb, const ProcessSet& members,
+                       std::uint64_t t0_us, std::uint64_t formed_us) {
+    if (!collect_windows || formed_us == 0) return;
+    obs::ReconfigWindow window;
+    window.verb = verb;
+    window.t0_ns = t0_us * 1000;
+    window.t1_ns = formed_us * 1000;
+    window.critical_thread = clock.critical(members);
+    out.logs = fleet.probe_logs();
+    window.phases = attribute_window(out.logs[window.critical_thread].entries,
+                                     window.t0_ns, window.t1_ns);
+    out.windows.push_back(std::move(window));
+  };
   for (int cycle = 0; cycle < cycles; ++cycle) {
     std::uint64_t t0 = fleet.transport().now();
     fleet.partition({majority, minority});
     std::uint64_t formed = clock.formed_by(majority, t0);
-    if (formed != 0) latencies.push_back(formed - t0);
+    if (formed != 0) out.latencies.push_back(formed - t0);
+    attribute("partition", majority, t0, formed);
 
     t0 = fleet.transport().now();
     fleet.merge();
     formed = clock.formed_by(everyone, t0);
-    if (formed != 0) latencies.push_back(formed - t0);
+    if (formed != 0) out.latencies.push_back(formed - t0);
+    attribute("merge", everyone, t0, formed);
   }
   fleet.stop();
-  return latencies;
+  out.digest = fleet.outcome_digest();
+  return out;
+}
+
+/// Process CPU time in milliseconds (all threads; parked threads accrue
+/// nothing, so this measures the work, not the waiting).
+double cpu_time_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Probe-overhead measurement: N adjacent probes-off/probes-on pairs of
+/// the phase-1 cell, CPU-timed, identical outcome digests required.
+/// Estimator: max(0, MIN over per-pair ratios - 1) — the min-of-pairs
+/// rationale (episodic shared-runner noise inflates pairs, a real
+/// regression shifts all of them) is documented at
+/// bench/bench_shards.cpp's measure_overhead.
+bool measure_overhead(std::uint32_t n, int cycles, int reps,
+                      double& overhead) {
+  // Discarded warmup pair (pristine-heap bias, see bench_shards).
+  (void)measure(ProtocolKind::kOptimized, n, cycles, false, false);
+  (void)measure(ProtocolKind::kOptimized, n, cycles, true, false);
+  double best_ratio = 0;
+  std::uint64_t digest_on = 0;
+  std::uint64_t digest_off = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool off_first = rep % 2 == 0;
+    const double t0 = cpu_time_ms();
+    const MeasureOut first =
+        measure(ProtocolKind::kOptimized, n, cycles, !off_first, false);
+    const double t1 = cpu_time_ms();
+    const MeasureOut second =
+        measure(ProtocolKind::kOptimized, n, cycles, off_first, false);
+    const double t2 = cpu_time_ms();
+    const double ms_off = off_first ? t1 - t0 : t2 - t1;
+    const double ms_on = off_first ? t2 - t1 : t1 - t0;
+    const double ratio = ms_off > 0 ? ms_on / ms_off : 1.0;
+    if (rep == 0 || ratio < best_ratio) best_ratio = ratio;
+    digest_on = off_first ? second.digest : first.digest;
+    digest_off = off_first ? first.digest : second.digest;
+  }
+  overhead = std::max(0.0, best_ratio - 1.0);
+  return digest_on == digest_off;
+}
+
+struct PhaseStats {
+  ProtocolKind kind;
+  std::size_t reconfigs = 0;
+  std::vector<std::uint64_t> wall;
+  std::vector<std::uint64_t> queued;
+  std::vector<std::uint64_t> parked;
+  std::vector<std::uint64_t> executing;
+  std::vector<std::uint64_t> timer_slop;
+  std::uint64_t wall_sum = 0;
+  std::uint64_t unattributed_sum = 0;
+
+  [[nodiscard]] double unattributed_frac() const {
+    return wall_sum == 0 ? 0.0
+                         : static_cast<double>(unattributed_sum) /
+                               static_cast<double>(wall_sum);
+  }
+};
+
+PhaseStats phase_stats(ProtocolKind kind,
+                       const std::vector<obs::ReconfigWindow>& windows) {
+  PhaseStats stats;
+  stats.kind = kind;
+  stats.reconfigs = windows.size();
+  for (const obs::ReconfigWindow& w : windows) {
+    stats.wall.push_back(w.phases.wall_ns);
+    stats.queued.push_back(w.phases.queued_ns);
+    stats.parked.push_back(w.phases.parked_ns);
+    stats.executing.push_back(w.phases.executing_ns);
+    stats.timer_slop.push_back(w.phases.timer_slop_ns);
+    stats.wall_sum += w.phases.wall_ns;
+    stats.unattributed_sum += w.phases.unattributed_ns;
+  }
+  return stats;
+}
+
+void set_phase_quantiles(JsonValue& row, const char* key,
+                         const std::vector<std::uint64_t>& samples) {
+  row.set(std::string(key) + "_p50", JsonValue(percentile(samples, 50)));
+  row.set(std::string(key) + "_p50_budget",
+          JsonValue(std::uint64_t{2000000000}));
+  row.set(std::string(key) + "_p99", JsonValue(percentile(samples, 99)));
+  row.set(std::string(key) + "_p99_budget",
+          JsonValue(std::uint64_t{10000000000}));
 }
 
 }  // namespace
@@ -130,17 +284,23 @@ int main() {
   const bool quick = std::getenv("DYNVOTE_RUNTIME_QUICK") != nullptr;
 
   // ---- phase 0: the runtime must match the DES before it may report --
-  std::puts("cross-check: DES oracle vs thread runtime, 8 seeds");
-  Table check_table({"protocol", "seeds", "digests equal", "C1 clean"});
+  std::puts(
+      "cross-check: DES oracle vs thread runtime, 8 seeds, probes off+on");
+  Table check_table(
+      {"protocol", "seeds", "digests equal", "C1 clean", "probes neutral"});
   JsonValue check_rows = JsonValue::array();
   bool all_equal = true;
   bool all_c1 = true;
+  bool probes_neutral = true;
   for (ProtocolKind kind : {ProtocolKind::kBasic, ProtocolKind::kOptimized}) {
     bool equal = true;
     bool c1 = true;
+    bool neutral = true;
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
       const CrossCheckResult result = run_scenario(kind, /*n=*/5, seed);
-      if (!result.digests_equal) {
+      const CrossCheckResult probed =
+          run_scenario(kind, /*n=*/5, seed, /*steps=*/10, /*probes=*/true);
+      if (!result.digests_equal || !probed.digests_equal) {
         equal = false;
         std::fprintf(stderr,
                      "DIVERGENCE %s seed %llu\n--- DES ---\n%s--- runtime "
@@ -149,23 +309,34 @@ int main() {
                      result.sim_summary.c_str(),
                      result.runtime_summary.c_str());
       }
-      c1 &= result.c1_clean;
+      if (probed.runtime_digest != result.runtime_digest) {
+        neutral = false;
+        std::fprintf(stderr,
+                     "PROBE PERTURBATION %s seed %llu: probes-on digest "
+                     "%llx != probes-off digest %llx\n",
+                     to_string(kind), static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(probed.runtime_digest),
+                     static_cast<unsigned long long>(result.runtime_digest));
+      }
+      c1 &= result.c1_clean && probed.c1_clean;
     }
-    check_table.add_row(
-        {to_string(kind), "8", equal ? "yes" : "NO", c1 ? "yes" : "NO"});
+    check_table.add_row({to_string(kind), "8", equal ? "yes" : "NO",
+                         c1 ? "yes" : "NO", neutral ? "yes" : "NO"});
     JsonValue row = JsonValue::object();
     row.set("protocol", JsonValue(to_string(kind)));
     row.set("seeds", JsonValue(std::uint64_t{8}));
     row.set("digests_equal", JsonValue(equal));
     row.set("c1_clean", JsonValue(c1));
+    row.set("probes_digest_equal", JsonValue(neutral));
     check_rows.push_back(std::move(row));
     all_equal &= equal;
     all_c1 &= c1;
+    probes_neutral &= neutral;
   }
   std::printf("%s\n", check_table.to_string().c_str());
-  if (!all_equal || !all_c1) {
-    std::fputs("runtime diverges from the DES oracle; not reporting "
-               "latencies from a wrong backend\n",
+  if (!all_equal || !all_c1 || !probes_neutral) {
+    std::fputs("runtime diverges from the DES oracle (or probes perturb "
+               "outcomes); not reporting latencies from a wrong backend\n",
                stderr);
     return 1;
   }
@@ -188,7 +359,9 @@ int main() {
   std::vector<std::uint64_t> three_phase_all;
   for (ProtocolKind kind : kinds) {
     for (std::uint32_t n : widths) {
-      const std::vector<std::uint64_t> samples = measure(kind, n, cycles);
+      const std::vector<std::uint64_t> samples =
+          measure(kind, n, cycles, /*probes=*/false, /*collect_windows=*/false)
+              .latencies;
       LatencyRow row;
       row.kind = kind;
       row.n = n;
@@ -220,12 +393,87 @@ int main() {
               optimized_faster ? "2-round protocol is faster"
                                : "VIOLATION: 5-round protocol won");
 
+  // ---- phase 2: where the reconfiguration microseconds go ------------
+  const std::uint32_t phase_n = quick ? 4 : 8;
+  const int phase_cycles = quick ? 3 : 8;
+  std::printf("\nphase breakdown, probes on (n=%u, %d cycles, attributed on "
+              "the last-forming thread)\n",
+              phase_n, phase_cycles);
+  Table phase_table({"protocol", "reconfigs", "wall p50 us", "queued %",
+                     "parked %", "exec %", "slop %", "unattr %"});
+  std::vector<PhaseStats> phase_rows;
+  bool phases_ok = true;
+  std::vector<obs::ReconfigWindow> flagship_windows;
+  std::vector<obs::ThreadProbeLog> flagship_logs;
+  for (ProtocolKind kind : kinds) {
+    MeasureOut probed =
+        measure(kind, phase_n, phase_cycles, /*probes=*/true,
+                /*collect_windows=*/true);
+    PhaseStats stats = phase_stats(kind, probed.windows);
+    const double wall = std::max<double>(1.0, stats.wall_sum);
+    auto pct_of_wall = [&](const std::vector<std::uint64_t>& phase) {
+      std::uint64_t sum = 0;
+      for (const std::uint64_t v : phase) sum += v;
+      return static_cast<double>(sum) * 100.0 / wall;
+    };
+    char buf[64];
+    auto fmt = [&buf](double v) {
+      std::snprintf(buf, sizeof buf, "%.1f", v);
+      return std::string(buf);
+    };
+    phase_table.add_row(
+        {to_string(kind), std::to_string(stats.reconfigs),
+         std::to_string(percentile(stats.wall, 50) / 1000),
+         fmt(pct_of_wall(stats.queued)), fmt(pct_of_wall(stats.parked)),
+         fmt(pct_of_wall(stats.executing)), fmt(pct_of_wall(stats.timer_slop)),
+         fmt(stats.unattributed_frac() * 100.0)});
+    phases_ok &= stats.reconfigs > 0 && stats.unattributed_frac() <= 0.10;
+    if (kind == ProtocolKind::kOptimized) {
+      flagship_windows = std::move(probed.windows);
+      flagship_logs = std::move(probed.logs);
+    }
+    phase_rows.push_back(std::move(stats));
+  }
+  std::printf("%s\n", phase_table.to_string().c_str());
+  if (!phases_ok) {
+    std::fputs("phase breakdown failed its own falsifiability gate "
+               "(unattributed residue > 10% of wall)\n",
+               stderr);
+  }
+
+  // The optimized run's raw probe document, for `dvtrace runtime`.
+  obs::RuntimeProbeMeta meta;
+  meta.protocol = to_string(ProtocolKind::kOptimized);
+  meta.n = phase_n;
+  meta.wheel_tick_us = RuntimeOptions{}.wheel_tick_us;
+  const std::string probes_path = write_json_file(
+      "runtime_probes.json",
+      runtime_probes_json(meta, flagship_logs, flagship_windows));
+  if (!probes_path.empty()) {
+    std::printf("probe document -> %s\n", probes_path.c_str());
+  }
+
+  // ---- phase 3: what the probes cost ---------------------------------
+  double overhead = 0;
+  const bool overhead_digests_equal =
+      // Quick mode uses more cycles/reps per cell than the rest of the
+      // quick bench: a sub-millisecond cell is dominated by
+      // scheduler-dependent CPU-time noise on small hosts, and the
+      // min-of-pairs estimator needs enough pairs for one clean one.
+      measure_overhead(phase_n, quick ? 6 : 4, quick ? 6 : 5, overhead);
+  const bool overhead_ok = overhead < 0.05 && overhead_digests_equal;
+  std::printf("probe overhead (min of adjacent-pair CPU ratios): %.2f%% "
+              "(budget 5%%) digests %s -> %s\n",
+              overhead * 100.0, overhead_digests_equal ? "equal" : "UNEQUAL",
+              overhead_ok ? "ok" : "FAIL");
+
   JsonValue result = JsonValue::object();
   result.set("experiment", JsonValue("runtime"));
   JsonValue crosscheck = JsonValue::object();
   crosscheck.set("seeds", JsonValue(std::uint64_t{8}));
   crosscheck.set("all_equal", JsonValue(all_equal));
   crosscheck.set("all_c1", JsonValue(all_c1));
+  crosscheck.set("probes_all_equal", JsonValue(probes_neutral));
   crosscheck.set("rows", std::move(check_rows));
   result.set("crosscheck", std::move(crosscheck));
   JsonValue latency_rows = JsonValue::array();
@@ -243,6 +491,35 @@ int main() {
     latency_rows.push_back(std::move(json_row));
   }
   result.set("rows", std::move(latency_rows));
+
+  JsonValue phases = JsonValue::object();
+  phases.set("n", JsonValue(std::uint64_t{phase_n}));
+  phases.set("cycles", JsonValue(std::uint64_t{
+                           static_cast<std::uint64_t>(phase_cycles)}));
+  JsonValue phase_json_rows = JsonValue::array();
+  for (const PhaseStats& stats : phase_rows) {
+    JsonValue row = JsonValue::object();
+    row.set("protocol", JsonValue(to_string(stats.kind)));
+    row.set("reconfigs", JsonValue(std::uint64_t{stats.reconfigs}));
+    set_phase_quantiles(row, "wall_ns", stats.wall);
+    set_phase_quantiles(row, "queued_ns", stats.queued);
+    set_phase_quantiles(row, "parked_ns", stats.parked);
+    set_phase_quantiles(row, "executing_ns", stats.executing);
+    set_phase_quantiles(row, "timer_slop_ns", stats.timer_slop);
+    row.set("unattributed_frac", JsonValue(stats.unattributed_frac()));
+    row.set("unattributed_frac_budget", JsonValue(0.10));
+    phase_json_rows.push_back(std::move(row));
+  }
+  phases.set("rows", std::move(phase_json_rows));
+  phases.set("all_within_budget", JsonValue(phases_ok));
+  result.set("phases", std::move(phases));
+
+  JsonValue overhead_json = JsonValue::object();
+  overhead_json.set("probe_overhead_frac", JsonValue(overhead));
+  overhead_json.set("probe_overhead_frac_budget", JsonValue(0.05));
+  overhead_json.set("digests_equal", JsonValue(overhead_digests_equal));
+  result.set("overhead", std::move(overhead_json));
+
   JsonValue comparison = JsonValue::object();
   comparison.set("optimized_p50_us", JsonValue(optimized_p50));
   comparison.set("optimized_p50_us_budget", JsonValue(std::uint64_t{2000000}));
@@ -253,5 +530,5 @@ int main() {
   result.set("comparison", std::move(comparison));
   emit_bench_result("runtime", result);
 
-  return optimized_faster ? 0 : 1;
+  return optimized_faster && phases_ok && overhead_ok ? 0 : 1;
 }

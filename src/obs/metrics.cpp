@@ -97,6 +97,25 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
 }
 
+namespace {
+
+/// Unit metadata for exported histograms, inferred from the repo's
+/// naming convention (histogram names end in their unit). Consumers
+/// (dvtrace tables) read the explicit "unit" key instead of re-guessing
+/// from the name; names outside the convention export no unit.
+std::string_view histogram_unit(std::string_view name) {
+  for (const std::string_view unit : {"ticks", "ns", "us", "bytes"}) {
+    if (name.size() > unit.size() + 1 &&
+        name.ends_with(unit) &&
+        name[name.size() - unit.size() - 1] == '_') {
+      return unit;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
 JsonValue MetricsRegistry::to_json() const {
   JsonValue counters = JsonValue::object();
   for (const auto& [name, c] : counters_) {
@@ -117,6 +136,8 @@ JsonValue MetricsRegistry::to_json() const {
     entry.set("min", JsonValue(h.min()));
     entry.set("max", JsonValue(h.max()));
     entry.set("mean", JsonValue(h.mean()));
+    const std::string_view unit = histogram_unit(name);
+    if (!unit.empty()) entry.set("unit", JsonValue(unit));
     if (h.count() != 0) {
       // Sparse [index, count] pairs: enough for offline quantile
       // recomputation (histogram_quantile) without 64 mostly-zero

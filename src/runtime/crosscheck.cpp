@@ -151,7 +151,8 @@ std::vector<ScenarioStep> make_scenario(std::uint32_t n, std::uint64_t seed,
 }
 
 CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
-                              std::uint64_t seed, std::size_t steps) {
+                              std::uint64_t seed, std::size_t steps,
+                              bool probes) {
   ensure(deterministic_outcome(kind),
          std::string("cross-check does not cover protocol kind ") +
              dynvote::to_string(kind));
@@ -195,6 +196,7 @@ CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
     FleetOptions options;
     options.kind = kind;
     options.n = n;
+    options.runtime.probes = probes;
     RuntimeFleet fleet(options);
     fleet.start();
     result.c1_clean &=

@@ -63,9 +63,13 @@ struct CrossCheckResult {
 
 /// Runs the seed's scenario on both backends and compares outcomes.
 /// Throws InvariantViolation for protocol kinds outside the
-/// deterministic-outcome allow-list.
+/// deterministic-outcome allow-list. `probes` turns wall-clock probe
+/// rings on in the runtime fleet — outcomes must be identical either
+/// way, which is how the digest-neutrality of the probe layer is
+/// asserted (probes-on digest == probes-off digest == DES digest).
 [[nodiscard]] CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
                                             std::uint64_t seed,
-                                            std::size_t steps = 10);
+                                            std::size_t steps = 10,
+                                            bool probes = false);
 
 }  // namespace dynvote::runtime

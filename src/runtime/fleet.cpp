@@ -128,6 +128,39 @@ std::vector<ProcessProbe> RuntimeFleet::probe() {
   return probes;
 }
 
+std::vector<obs::ThreadProbeLog> RuntimeFleet::probe_logs() {
+  if (!transport_->probes_enabled()) return {};
+  const auto& ids = transport_->processes();
+  std::vector<obs::ThreadProbeLog> logs(ids.size() + 1);
+  if (transport_->running()) {
+    // Each ring is copied on its owning thread; quiesce publishes the
+    // copies back to the controller.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      obs::ThreadProbeLog& log = logs[i];
+      obs::ProbeRing* ring = transport_->probe_ring(ids[i]);
+      transport_->run_on(ids[i], [&log, ring] {
+        log.dropped = ring->dropped();
+        log.entries = ring->snapshot();
+      });
+    }
+    transport_->quiesce();
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      obs::ProbeRing* ring = transport_->probe_ring(ids[i]);
+      logs[i].dropped = ring->dropped();
+      logs[i].entries = ring->snapshot();
+    }
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    logs[i].thread = static_cast<std::uint32_t>(i);
+  }
+  obs::ProbeRing* controller = transport_->controller_probe_ring();
+  logs.back().thread = obs::kControllerLane;
+  logs.back().dropped = controller->dropped();
+  logs.back().entries = controller->snapshot();
+  return logs;
+}
+
 std::size_t RuntimeFleet::distinct_primaries(
     const std::vector<ProcessProbe>& probes) {
   std::set<Session> sessions;

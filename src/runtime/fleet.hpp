@@ -73,6 +73,12 @@ class RuntimeFleet {
   /// Snapshot of every process's protocol state, in id order.
   [[nodiscard]] std::vector<ProcessProbe> probe();
 
+  /// Snapshot of every probe ring: one lane per process (thread = its
+  /// index, copied on its own thread via run_on + quiesce) plus the
+  /// controller lane (thread = obs::kControllerLane). Empty when the
+  /// fleet was built without runtime.probes.
+  [[nodiscard]] std::vector<obs::ThreadProbeLog> probe_logs();
+
   /// Distinct primary sessions among live probed processes. C1 (total
   /// order on primaries) requires <= 1 at any quiescent point.
   [[nodiscard]] static std::size_t distinct_primaries(

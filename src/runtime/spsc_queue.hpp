@@ -90,6 +90,15 @@ class SpscQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
+  /// Producer-side occupancy estimate (exact for the producer: it owns
+  /// tail, and a concurrent pop can only make the queue less full).
+  /// Costs an acquire of head — for probes, not the hot path.
+  [[nodiscard]] std::size_t producer_size() const {
+    return static_cast<std::size_t>(
+        tail_.pos.load(std::memory_order_relaxed) -
+        head_.pos.load(std::memory_order_acquire));
+  }
+
  private:
   /// One side's cursor plus its cached snapshot of the other side's,
   /// padded so the two sides never share a line.

@@ -23,6 +23,9 @@ ThreadTransport::Proc::Proc(ProcessId pid, std::size_t idx,
   trace.set_capacity(options.trace_capacity);
   logger.set_level(options.log_level);
   control = std::make_unique<SpscQueue<ControlItem>>(options.control_capacity);
+  if (options.probes) {
+    probe = std::make_unique<obs::ProbeRing>(options.probe_capacity);
+  }
 }
 
 ThreadTransport::ThreadTransport(const std::vector<ProcessId>& processes,
@@ -46,6 +49,19 @@ ThreadTransport::ThreadTransport(const std::vector<ProcessId>& processes,
     for (std::size_t s = 0; s < ids_.size(); ++s) {
       p->in.push_back(
           std::make_unique<SpscQueue<LinkItem>>(options_.link_capacity));
+    }
+  }
+  if (options_.probes) {
+    controller_probe_ = std::make_unique<obs::ProbeRing>(options_.probe_capacity);
+    for (auto& p : procs_) {
+      // Fire slop, measured at the wheel: (deadline, now) land here just
+      // before the entry's action runs, on p's own thread.
+      Proc& me = *p;
+      me.wheel.set_fire_hook([&me](SimTime deadline, SimTime fired_at) {
+        me.probe->record(obs::ProbeKind::kTimerFire, deadline * 1000,
+                         (fired_at - deadline) * 1000, obs::kNoLane,
+                         me.trace.last_eid());
+      });
     }
   }
   refresh_connectivity();  // self-links up, everything else down
@@ -86,10 +102,12 @@ void ThreadTransport::send(sim::Envelope env) {
   from.metrics.counter("rt.sent").increment();
 
   Proc& target = *procs_[ti];
-  LinkItem item{std::move(env), st >> 1};
+  LinkItem item{std::move(env), st >> 1,
+                from.probe ? now_ns() : std::uint64_t{0}};
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   SpscQueue<LinkItem>& link = *target.in[from.index];
   if (!link.try_push(std::move(item))) {
+    const std::uint64_t stall_start = from.probe ? now_ns() : 0;
     const auto give_up = std::chrono::steady_clock::now() + kBackpressureTimeout;
     do {
       // Full ring: the receiver is behind. Make sure it is awake, then
@@ -99,6 +117,17 @@ void ThreadTransport::send(sim::Envelope env) {
       ensure(std::chrono::steady_clock::now() < give_up,
              "runtime link backpressure timeout (receiver wedged?)");
     } while (!link.try_push(std::move(item)));
+    if (from.probe) {
+      from.probe->record(obs::ProbeKind::kLinkPushFailed, stall_start,
+                         now_ns() - stall_start,
+                         static_cast<std::uint16_t>(ti),
+                         from.trace.last_eid());
+    }
+  }
+  if (from.probe) {
+    from.probe->record(obs::ProbeKind::kLinkPush, now_ns(),
+                       link.producer_size(), static_cast<std::uint16_t>(ti),
+                       from.trace.last_eid());
   }
   bump_work(target);
 }
@@ -112,7 +141,12 @@ SimTime ThreadTransport::now() const {
 
 sim::TimerToken ThreadTransport::schedule_timer(ProcessId p, SimTime delay,
                                                 sim::TimerAction action) {
-  return proc(p).wheel.schedule_at(now() + delay, std::move(action));
+  Proc& me = proc(p);
+  if (me.probe) {
+    me.probe->record(obs::ProbeKind::kTimerSchedule, now_ns(), delay * 1000,
+                     obs::kNoLane, me.trace.last_eid());
+  }
+  return me.wheel.schedule_at(now() + delay, std::move(action));
 }
 
 bool ThreadTransport::cancel_timer(ProcessId p, sim::TimerToken token) {
@@ -283,8 +317,10 @@ void ThreadTransport::refresh_connectivity() {
 
 void ThreadTransport::post_control(ProcessId p, ControlItem item) {
   Proc& target = proc(p);
+  if (controller_probe_) item.sent_ns = now_ns();
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   if (!target.control->try_push(std::move(item))) {
+    const std::uint64_t stall_start = controller_probe_ ? now_ns() : 0;
     const auto give_up = std::chrono::steady_clock::now() + kBackpressureTimeout;
     do {
       bump_work(target);
@@ -292,11 +328,24 @@ void ThreadTransport::post_control(ProcessId p, ControlItem item) {
       ensure(std::chrono::steady_clock::now() < give_up,
              "runtime control backpressure timeout");
     } while (!target.control->try_push(std::move(item)));
+    if (controller_probe_) {
+      controller_probe_->record(obs::ProbeKind::kLinkPushFailed, stall_start,
+                                now_ns() - stall_start,
+                                static_cast<std::uint16_t>(target.index), 0);
+    }
+  }
+  if (controller_probe_) {
+    controller_probe_->record(obs::ProbeKind::kControlPush, now_ns(),
+                              target.control->producer_size(),
+                              static_cast<std::uint16_t>(target.index), 0);
   }
   bump_work(target);
 }
 
 void ThreadTransport::bump_work(Proc& target) {
+  if (target.probe) {
+    target.notify_ns.store(now_ns(), std::memory_order_relaxed);
+  }
   target.work_seq.fetch_add(1, std::memory_order_release);
   target.work_seq.notify_all();
 }
@@ -304,24 +353,57 @@ void ThreadTransport::bump_work(Proc& target) {
 void ThreadTransport::thread_main(Proc& me) {
   ControlItem control;
   LinkItem item;
+  obs::ProbeRing* const probe = me.probe.get();
   while (true) {
     // Read the futex word before scanning: any push that lands after
     // this read also bumps the word, so the wait below cannot miss it.
     const std::uint32_t seq = me.work_seq.load(std::memory_order_acquire);
     bool did_work = false;
     while (me.control->try_pop(control)) {
-      handle_control(me, control);
+      if (probe) {
+        const std::uint64_t t = now_ns();
+        probe->record(obs::ProbeKind::kControlPop, t,
+                      t > control.sent_ns ? t - control.sent_ns : 0,
+                      obs::kControllerLane, me.trace.last_eid());
+        handle_control(me, control);
+        probe->record(obs::ProbeKind::kHandlerControl, t, now_ns() - t,
+                      obs::kControllerLane, me.trace.last_eid());
+      } else {
+        handle_control(me, control);
+      }
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       did_work = true;
     }
-    for (auto& link : me.in) {
-      while (link->try_pop(item)) {
-        handle_message(me, item);
+    for (std::size_t si = 0; si < me.in.size(); ++si) {
+      SpscQueue<LinkItem>& link = *me.in[si];
+      while (link.try_pop(item)) {
+        if (probe) {
+          const std::uint64_t t = now_ns();
+          probe->record(obs::ProbeKind::kLinkPop, t,
+                        t > item.sent_ns ? t - item.sent_ns : 0,
+                        static_cast<std::uint16_t>(si), me.trace.last_eid());
+          handle_message(me, item);
+          probe->record(obs::ProbeKind::kHandlerMessage, t, now_ns() - t,
+                        static_cast<std::uint16_t>(si), me.trace.last_eid());
+        } else {
+          handle_message(me, item);
+        }
         inflight_.fetch_sub(1, std::memory_order_acq_rel);
         did_work = true;
       }
     }
-    if (me.wheel.advance(now()) > 0) did_work = true;
+    if (probe) {
+      const std::uint64_t t = now_ns();
+      if (me.wheel.advance(now()) > 0) {
+        // One entry per firing advance() — the fire hook records the
+        // per-timer slop, this records the batch's execution time.
+        probe->record(obs::ProbeKind::kHandlerTimer, t, now_ns() - t,
+                      obs::kNoLane, me.trace.last_eid());
+        did_work = true;
+      }
+    } else if (me.wheel.advance(now()) > 0) {
+      did_work = true;
+    }
     if (did_work) continue;
     if (stop_.load(std::memory_order_acquire)) break;
 
@@ -331,12 +413,50 @@ void ThreadTransport::thread_main(Proc& me) {
       // early for messages (checked at the top of the loop).
       const SimTime t = now();
       if (*deadline > t) {
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            std::min<SimTime>(*deadline - t, 200)));
+        const std::uint64_t nap_start = probe ? now_ns() : 0;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(std::min<SimTime>(*deadline - t, 200)));
+        if (probe) {
+          // Split the nap at the deadline: time before it is parked,
+          // time past it is slop the timer's consumer will observe.
+          const std::uint64_t wake_ns = now_ns();
+          const std::uint64_t deadline_ns = *deadline * 1000;
+          if (wake_ns > deadline_ns) {
+            if (deadline_ns > nap_start) {
+              probe->record(obs::ProbeKind::kParked, nap_start,
+                            deadline_ns - nap_start, obs::kNoLane,
+                            me.trace.last_eid());
+            }
+            const std::uint64_t slop_from = std::max(nap_start, deadline_ns);
+            probe->record(obs::ProbeKind::kTimerSlop, slop_from,
+                          wake_ns - slop_from, obs::kNoLane,
+                          me.trace.last_eid());
+          } else {
+            probe->record(obs::ProbeKind::kParked, nap_start,
+                          wake_ns - nap_start, obs::kNoLane,
+                          me.trace.last_eid());
+          }
+        }
       }
     } else {
       // Fully idle: park on the futex until a producer bumps the word.
-      me.work_seq.wait(seq, std::memory_order_acquire);
+      if (probe) {
+        const std::uint64_t park_start = now_ns();
+        me.work_seq.wait(seq, std::memory_order_acquire);
+        const std::uint64_t wake_ns = now_ns();
+        probe->record(obs::ProbeKind::kParked, park_start,
+                      wake_ns - park_start, obs::kNoLane, me.trace.last_eid());
+        // Wakeup latency: only meaningful when the notify landed during
+        // this park (a stale stamp from before the park says nothing).
+        const std::uint64_t notify =
+            me.notify_ns.load(std::memory_order_relaxed);
+        if (notify >= park_start && wake_ns > notify) {
+          probe->record(obs::ProbeKind::kWakeup, wake_ns, wake_ns - notify,
+                        obs::kNoLane, me.trace.last_eid());
+        }
+      } else {
+        me.work_seq.wait(seq, std::memory_order_acquire);
+      }
     }
   }
 }

@@ -40,6 +40,7 @@
 
 #include "membership/view.hpp"
 #include "obs/metrics.hpp"
+#include "obs/runtime_probe.hpp"
 #include "obs/trace.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "runtime/timer_wheel.hpp"
@@ -63,9 +64,23 @@ struct RuntimeOptions {
   SimTime wheel_tick_us = 1024;
   /// Per-process logger threshold.
   LogLevel log_level = LogLevel::kWarn;
-  /// Per-process trace-ring capacity (0 = unbounded, as the cross-check
-  /// digests need the full kSessionFormed history).
-  std::size_t trace_capacity = 0;
+  /// Per-process trace-ring capacity. Bounded by default so long
+  /// benches don't grow trace memory without limit; the default is far
+  /// above any cross-check scenario's event count, so digests are
+  /// unaffected. 0 is the explicit unbounded opt-out for runs that need
+  /// the complete history regardless of length.
+  std::size_t trace_capacity = 65536;
+  /// Wall-clock probe rings (obs/runtime_probe.hpp). Off by default;
+  /// when off no ring exists and every record site is a single branch
+  /// on a null pointer.
+  bool probes = false;
+  /// Per-thread probe-ring capacity (entries, rounded up to a power of
+  /// two); older entries are overwritten in place. The default (256KB
+  /// per thread) retains several bench runs' worth of events; keeping
+  /// it modest also keeps the probes-on fleet construction cost inside
+  /// the <5% overhead budget under sanitizer builds, where large
+  /// allocations carry per-byte poisoning cost.
+  std::size_t probe_capacity = 1 << 13;
 };
 
 class ThreadTransport final : public sim::Transport {
@@ -139,17 +154,42 @@ class ThreadTransport final : public sim::Transport {
     return ids_;
   }
 
+  // -- probe surface --------------------------------------------------------
+
+  [[nodiscard]] bool probes_enabled() const noexcept { return options_.probes; }
+  /// p's probe ring (null when probes are off). The ring is written by
+  /// p's thread: read it only via run_on + quiesce or after the join.
+  [[nodiscard]] obs::ProbeRing* probe_ring(ProcessId p) {
+    return proc(p).probe.get();
+  }
+  /// The controller thread's own ring (control pushes); null when off.
+  /// The controller is its single writer, so the controlling thread may
+  /// read it directly.
+  [[nodiscard]] obs::ProbeRing* controller_probe_ring() noexcept {
+    return controller_probe_.get();
+  }
+  /// Nanoseconds since transport start — the probe timestamp clock,
+  /// 1000x finer than now() on the same epoch.
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count());
+  }
+
  private:
   struct ControlItem {
     enum class Kind : std::uint8_t { kNone, kView, kCrash, kRecover, kRun };
     Kind kind = Kind::kNone;
     View view;            // kView
     sim::TimerAction fn;  // kRun
+    std::uint64_t sent_ns = 0;  // push timestamp, 0 unless probes are on
   };
 
   struct LinkItem {
     sim::Envelope env;
-    std::uint64_t epoch = 0;  // link epoch at send
+    std::uint64_t epoch = 0;    // link epoch at send
+    std::uint64_t sent_ns = 0;  // push timestamp, 0 unless probes are on
   };
 
   /// Everything one process thread owns. The atomic work_seq is the
@@ -169,6 +209,13 @@ class ThreadTransport final : public sim::Transport {
     Logger logger;
     std::uint64_t lamport = 0;        // thread-owned
     std::uint64_t last_topo_eid = 0;  // thread-owned
+    /// Wall-clock probe ring; null when options.probes is false, so a
+    /// disabled probe site costs one pointer test.
+    std::unique_ptr<obs::ProbeRing> probe;
+    /// Wall-clock stamp of the latest bump_work aimed at this thread
+    /// (probes only; relaxed — it feeds a latency estimate, not an
+    /// ordering decision).
+    std::atomic<std::uint64_t> notify_ns{0};
     std::unique_ptr<SpscQueue<ControlItem>> control;
     /// Inbound data links, indexed by sender slot.
     std::vector<std::unique_ptr<SpscQueue<LinkItem>>> in;
@@ -203,6 +250,9 @@ class ThreadTransport final : public sim::Transport {
   RuntimeOptions options_;
   std::vector<ProcessId> ids_;
   std::vector<std::unique_ptr<Proc>> procs_;  // stable addresses
+  /// Controller thread's probe ring (control-queue pushes); null when
+  /// probes are off.
+  std::unique_ptr<obs::ProbeRing> controller_probe_;
   std::vector<std::atomic<std::uint64_t>> pair_state_;
   std::atomic<std::int64_t> inflight_{0};
   std::atomic<bool> stop_{false};

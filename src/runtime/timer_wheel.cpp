@@ -76,6 +76,7 @@ std::size_t TimerWheel::advance(SimTime now) {
   for (Entry& entry : due) {
     token_slot_.erase(entry.token);
     --pending_;
+    if (fire_hook_) fire_hook_(entry.deadline, now);
     entry.action();
   }
   return due.size();

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/transport.hpp"
@@ -52,6 +54,14 @@ class TimerWheel {
 
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
 
+  /// Observation hook, called by advance() once per fired entry —
+  /// (deadline, now) just before the entry's action runs — so the owner
+  /// can measure fire slop without the wheel knowing about probes.
+  /// Same single-threaded contract as every other method.
+  void set_fire_hook(std::function<void(SimTime deadline, SimTime now)> hook) {
+    fire_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     SimTime deadline = 0;
@@ -71,6 +81,7 @@ class TimerWheel {
   std::size_t pending_ = 0;
   std::vector<Entry> slots_[kSlots];
   std::unordered_map<sim::TimerToken, std::size_t> token_slot_;
+  std::function<void(SimTime, SimTime)> fire_hook_;
 };
 
 }  // namespace dynvote::runtime

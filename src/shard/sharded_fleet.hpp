@@ -53,7 +53,10 @@ namespace dynvote::shard {
 
 /// Version stamped into telemetry_json(); bump on any incompatible
 /// change to the fleet-telemetry payload shape.
-inline constexpr int kFleetTelemetrySchemaVersion = 1;
+/// v2: exported histograms carry explicit "unit" metadata
+/// ("ticks" | "ns" | "us" | "bytes", inferred from the _<unit> name
+/// suffix) so consumers stop guessing units from names.
+inline constexpr int kFleetTelemetrySchemaVersion = 2;
 
 /// The fleet-scale telemetry layer (obs/hub, obs/timeseries,
 /// obs/flight_recorder) wired through a ShardedFleet. Telemetry never

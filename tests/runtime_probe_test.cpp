@@ -1,0 +1,382 @@
+// Tests for the wall-clock probe layer of the thread runtime
+// (src/obs/runtime_probe.*): the single-writer ring, the phase
+// attribution of reconfiguration windows, the JSON document and its
+// Chrome export, the per-lane metric aggregation, and the integration
+// through RuntimeFleet — including the digest-neutrality contract
+// (probes on or off, the protocol outcome is byte-identical) and the
+// eventcount wakeup stress meant to run under TSan
+// (tools/run_experiments.sh wires the Runtime* prefixes into its TSan
+// pass).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/runtime_probe.hpp"
+#include "runtime/crosscheck.hpp"
+#include "runtime/fleet.hpp"
+#include "util/ensure.hpp"
+#include "util/json.hpp"
+
+namespace dynvote::obs {
+namespace {
+
+using runtime::FleetOptions;
+using runtime::RuntimeFleet;
+
+// ---------------------------------------------------------------- ring
+
+TEST(RuntimeProbe, RingRoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(ProbeRing(0).capacity(), 16u);
+  EXPECT_EQ(ProbeRing(16).capacity(), 16u);
+  EXPECT_EQ(ProbeRing(17).capacity(), 32u);
+  EXPECT_EQ(ProbeRing(1000).capacity(), 1024u);
+}
+
+TEST(RuntimeProbe, RingOverwritesOldestFirstAndCountsDrops) {
+  ProbeRing ring(16);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ring.record(ProbeKind::kLinkPush, /*t_ns=*/i, /*value=*/i * 10,
+                /*link=*/static_cast<std::uint16_t>(i & 0xF), /*eid=*/i);
+  }
+  EXPECT_EQ(ring.recorded(), 40u);
+  EXPECT_EQ(ring.dropped(), 24u);
+  const std::vector<ProbeEntry> entries = ring.snapshot();
+  ASSERT_EQ(entries.size(), 16u);
+  // Oldest retained entry is #24, newest #39, strictly in order.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].t_ns, 24 + i);
+    EXPECT_EQ(entries[i].value, (24 + i) * 10);
+    EXPECT_EQ(entries[i].eid, 24 + i);
+  }
+}
+
+TEST(RuntimeProbe, KindStringsRoundTrip) {
+  for (const ProbeKind kind :
+       {ProbeKind::kLinkPush, ProbeKind::kLinkPushFailed, ProbeKind::kLinkPop,
+        ProbeKind::kControlPush, ProbeKind::kControlPop, ProbeKind::kParked,
+        ProbeKind::kTimerSlop, ProbeKind::kWakeup, ProbeKind::kTimerSchedule,
+        ProbeKind::kTimerFire, ProbeKind::kHandlerMessage,
+        ProbeKind::kHandlerControl, ProbeKind::kHandlerTimer}) {
+    EXPECT_EQ(probe_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)probe_kind_from_string("no-such-kind"),
+               InvariantViolation);
+}
+
+// -------------------------------------------------------- attribution
+
+ProbeEntry entry(ProbeKind kind, std::uint64_t t_ns, std::uint64_t value) {
+  ProbeEntry e{};  // value-init: the POD has no member initializers
+  e.kind = kind;
+  e.t_ns = t_ns;
+  e.value = value;
+  e.link = kNoLane;
+  return e;
+}
+
+TEST(RuntimeProbe, AttributeWindowPartitionsWallExactly) {
+  // Window [0, 1000): handler [100, 300), park [300, 600), pop at 700
+  // with 50ns wait ([650, 700)), rest unattributed.
+  const std::vector<ProbeEntry> entries = {
+      entry(ProbeKind::kHandlerMessage, 100, 200),
+      entry(ProbeKind::kParked, 300, 300),
+      entry(ProbeKind::kLinkPop, 700, 50),
+  };
+  const PhaseBreakdown phases = attribute_window(entries, 0, 1000);
+  EXPECT_EQ(phases.wall_ns, 1000u);
+  EXPECT_EQ(phases.executing_ns, 200u);
+  EXPECT_EQ(phases.parked_ns, 300u);
+  EXPECT_EQ(phases.queued_ns, 50u);
+  EXPECT_EQ(phases.timer_slop_ns, 0u);
+  EXPECT_EQ(phases.unattributed_ns, 450u);
+  EXPECT_EQ(phases.executing_ns + phases.parked_ns + phases.queued_ns +
+                phases.timer_slop_ns + phases.unattributed_ns,
+            phases.wall_ns);
+}
+
+TEST(RuntimeProbe, AttributeWindowAppliesPrecedenceOnOverlap) {
+  // All four phases claim [0, 100): executing must win the whole span.
+  const std::vector<ProbeEntry> overlap = {
+      entry(ProbeKind::kParked, 0, 100),
+      entry(ProbeKind::kLinkPop, 100, 100),  // queued [0, 100)
+      entry(ProbeKind::kTimerSlop, 0, 100),
+      entry(ProbeKind::kHandlerTimer, 0, 100),
+  };
+  PhaseBreakdown phases = attribute_window(overlap, 0, 100);
+  EXPECT_EQ(phases.executing_ns, 100u);
+  EXPECT_EQ(phases.timer_slop_ns, 0u);
+  EXPECT_EQ(phases.queued_ns, 0u);
+  EXPECT_EQ(phases.parked_ns, 0u);
+  EXPECT_EQ(phases.unattributed_ns, 0u);
+
+  // Without the handler, slop wins; without slop, queued; then parked.
+  phases = attribute_window({overlap[0], overlap[1], overlap[2]}, 0, 100);
+  EXPECT_EQ(phases.timer_slop_ns, 100u);
+  phases = attribute_window({overlap[0], overlap[1]}, 0, 100);
+  EXPECT_EQ(phases.queued_ns, 100u);
+  phases = attribute_window({overlap[0]}, 0, 100);
+  EXPECT_EQ(phases.parked_ns, 100u);
+}
+
+TEST(RuntimeProbe, AttributeWindowClipsIntervalsToTheWindow) {
+  // Handler [50, 250) against window [100, 200): only 100ns count, and
+  // an entry entirely outside contributes nothing.
+  const std::vector<ProbeEntry> entries = {
+      entry(ProbeKind::kHandlerMessage, 50, 200),
+      entry(ProbeKind::kParked, 5000, 100),
+  };
+  const PhaseBreakdown phases = attribute_window(entries, 100, 200);
+  EXPECT_EQ(phases.wall_ns, 100u);
+  EXPECT_EQ(phases.executing_ns, 100u);
+  EXPECT_EQ(phases.parked_ns, 0u);
+  EXPECT_EQ(phases.unattributed_ns, 0u);
+}
+
+// ------------------------------------------------------------ document
+
+RuntimeProbeDoc sample_doc() {
+  ThreadProbeLog lane0;
+  lane0.thread = 0;
+  lane0.dropped = 3;
+  lane0.entries = {
+      entry(ProbeKind::kLinkPush, 100, 2),
+      entry(ProbeKind::kLinkPushFailed, 150, 900),
+      entry(ProbeKind::kHandlerMessage, 1200, 400),
+      entry(ProbeKind::kParked, 1600, 2000),
+      entry(ProbeKind::kWakeup, 3600, 120),
+      entry(ProbeKind::kTimerFire, 5000, 40),
+  };
+  lane0.entries[0].link = 1;
+  lane0.entries[0].eid = 7;
+  ThreadProbeLog ctl;
+  ctl.thread = kControllerLane;
+  ctl.entries = {entry(ProbeKind::kControlPush, 90, 1)};
+  ctl.entries[0].link = 0;
+
+  ReconfigWindow window;
+  window.verb = "partition";
+  window.t0_ns = 100;
+  window.t1_ns = 4000;
+  window.critical_thread = 0;
+  window.phases = attribute_window(lane0.entries, 100, 4000);
+
+  RuntimeProbeDoc doc;
+  doc.meta = {"dv-optimized", 4, 1024};
+  doc.threads = {lane0, ctl};
+  doc.reconfigs = {window};
+  return doc;
+}
+
+TEST(RuntimeProbe, ProbeDocumentJsonRoundTrips) {
+  const RuntimeProbeDoc doc = sample_doc();
+  const JsonValue json =
+      runtime_probes_json(doc.meta, doc.threads, doc.reconfigs);
+  EXPECT_EQ(json.at("schema_version").as_uint(),
+            static_cast<std::uint64_t>(kRuntimeProbeSchemaVersion));
+  EXPECT_EQ(json.at("experiment").as_string(), "runtime_probes");
+
+  const RuntimeProbeDoc loaded = load_runtime_probes(json.dump());
+  EXPECT_EQ(loaded.meta.protocol, doc.meta.protocol);
+  EXPECT_EQ(loaded.meta.n, doc.meta.n);
+  EXPECT_EQ(loaded.meta.wheel_tick_us, doc.meta.wheel_tick_us);
+  ASSERT_EQ(loaded.threads.size(), doc.threads.size());
+  for (std::size_t i = 0; i < doc.threads.size(); ++i) {
+    EXPECT_EQ(loaded.threads[i].thread, doc.threads[i].thread);
+    EXPECT_EQ(loaded.threads[i].dropped, doc.threads[i].dropped);
+    EXPECT_EQ(loaded.threads[i].entries, doc.threads[i].entries);
+  }
+  ASSERT_EQ(loaded.reconfigs.size(), 1u);
+  EXPECT_EQ(loaded.reconfigs[0].verb, "partition");
+  EXPECT_EQ(loaded.reconfigs[0].phases, doc.reconfigs[0].phases);
+}
+
+TEST(RuntimeProbe, LoaderRejectsSchemaMismatch) {
+  const RuntimeProbeDoc doc = sample_doc();
+  std::string text =
+      runtime_probes_json(doc.meta, doc.threads, doc.reconfigs).dump();
+  // JsonValue::set appends (at() reads the first match), so patch the
+  // serialized text to fake a future schema version.
+  const std::string needle =
+      "\"schema_version\":" + std::to_string(kRuntimeProbeSchemaVersion);
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"schema_version\":999");
+  EXPECT_THROW((void)load_runtime_probes(text), InvariantViolation);
+}
+
+TEST(RuntimeProbe, ChromeExportIsWellFormed) {
+  const JsonValue chrome = runtime_probe_chrome_json(sample_doc());
+  EXPECT_EQ(chrome.at("displayTimeUnit").as_string(), "ns");
+  const auto& events = chrome.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  std::vector<std::string> open_async;
+  bool saw_slice = false;
+  bool saw_instant = false;
+  for (const JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    (void)e.at("name").as_string();
+    (void)e.at("pid").as_uint();
+    if (ph != "M") (void)e.at("ts").as_uint();
+    if (ph == "X") {
+      (void)e.at("dur").as_uint();
+      saw_slice = true;
+    }
+    if (ph == "i") saw_instant = true;
+    if (ph == "b") open_async.push_back(e.at("id").as_string());
+    if (ph == "e") {
+      const auto it = std::find(open_async.begin(), open_async.end(),
+                                e.at("id").as_string());
+      ASSERT_NE(it, open_async.end());
+      open_async.erase(it);
+    }
+  }
+  EXPECT_TRUE(open_async.empty());  // every reconfig span is balanced
+  EXPECT_TRUE(saw_slice);           // handlers / parks
+  EXPECT_TRUE(saw_instant);         // backpressure / timer fire
+}
+
+TEST(RuntimeProbe, AggregatesPerLaneMetricsIntoHub) {
+  const RuntimeProbeDoc doc = sample_doc();
+  MetricsHub hub(doc.threads.size());
+  aggregate_probe_metrics(doc.threads, hub);
+  MetricsRegistry& lane0 = hub.group(0);
+  EXPECT_EQ(lane0.counter_value("rt.probe.push"), 1u);
+  EXPECT_EQ(lane0.counter_value("rt.probe.push_failed"), 1u);
+  EXPECT_EQ(lane0.counter_value("rt.probe.parks"), 1u);
+  EXPECT_EQ(lane0.counter_value("rt.probe.wakeups"), 1u);
+  EXPECT_EQ(lane0.counter_value("rt.probe.handlers"), 1u);
+  EXPECT_EQ(lane0.counter_value("rt.probe.dropped"), 3u);
+  EXPECT_EQ(lane0.histogram("rt.probe.handler_ns").count(), 1u);
+  EXPECT_EQ(lane0.histogram("rt.probe.park_ns").count(), 1u);
+  MetricsRegistry& ctl = hub.group(1);
+  EXPECT_EQ(ctl.counter_value("rt.probe.control_push"), 1u);
+  // Rollup across lanes works unchanged on probe instruments.
+  EXPECT_EQ(hub.rollup().counter_value("rt.probe.push"), 1u);
+}
+
+// Exported histograms carry the explicit unit metadata (telemetry
+// schema v2): names ending in a unit suffix get a "unit" key.
+TEST(RuntimeProbe, ExportedHistogramsCarryUnitMetadata) {
+  const RuntimeProbeDoc doc = sample_doc();
+  MetricsHub hub(doc.threads.size());
+  aggregate_probe_metrics(doc.threads, hub);
+  const JsonValue json = hub.group(0).to_json();
+  EXPECT_EQ(json.at("histograms").at("rt.probe.handler_ns").at("unit")
+                .as_string(),
+            "ns");
+  // No unit suffix -> no unit key.
+  EXPECT_EQ(json.at("histograms").at("rt.probe.queue_depth").find("unit"),
+            nullptr);
+}
+
+// ------------------------------------------------------------ integration
+
+TEST(RuntimeProbe, FleetProbeLogsCaptureChurn) {
+  FleetOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 4;
+  options.runtime.probes = true;
+  RuntimeFleet fleet(options);
+  fleet.start();
+  ProcessSet left;
+  ProcessSet right;
+  for (std::uint32_t i = 0; i < 2; ++i) left.insert(ProcessId(i));
+  for (std::uint32_t i = 2; i < 4; ++i) right.insert(ProcessId(i));
+  fleet.partition({left, right});
+  fleet.merge();
+  const std::vector<ThreadProbeLog> logs = fleet.probe_logs();
+  fleet.stop();
+
+  ASSERT_EQ(logs.size(), 5u);  // 4 process lanes + controller
+  EXPECT_EQ(logs.back().thread, kControllerLane);
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t handlers = 0;
+  bool saw_eid = false;
+  for (const ThreadProbeLog& lane : logs) {
+    for (const ProbeEntry& e : lane.entries) {
+      pushes += e.kind == ProbeKind::kLinkPush ? 1 : 0;
+      pops += e.kind == ProbeKind::kLinkPop ? 1 : 0;
+      handlers += e.kind == ProbeKind::kHandlerMessage ? 1 : 0;
+      saw_eid |= e.eid != 0;
+    }
+  }
+  EXPECT_GT(pushes, 0u);
+  EXPECT_GT(pops, 0u);
+  EXPECT_GT(handlers, 0u);
+  EXPECT_TRUE(saw_eid);  // entries join back into the causal trace
+}
+
+TEST(RuntimeProbe, FleetWithoutProbesReturnsNoLogs) {
+  FleetOptions options;
+  options.n = 3;
+  RuntimeFleet fleet(options);
+  fleet.start();
+  EXPECT_TRUE(fleet.probe_logs().empty());
+  fleet.stop();
+}
+
+// The digest-neutrality contract: the probed runtime makes exactly the
+// protocol decisions the unprobed one (and the DES) makes.
+TEST(RuntimeProbe, ProbesAreDigestNeutral) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const runtime::CrossCheckResult off =
+        runtime::run_scenario(ProtocolKind::kOptimized, 4, seed);
+    const runtime::CrossCheckResult on = runtime::run_scenario(
+        ProtocolKind::kOptimized, 4, seed, 10, /*probes=*/true);
+    EXPECT_TRUE(on.digests_equal) << "seed " << seed;
+    EXPECT_EQ(on.runtime_digest, off.runtime_digest) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- eventcount
+
+// Wakeup stress across >= 4 threads, meant for the TSan pass: heavy
+// topology churn forces the park/notify edge constantly. Every verb
+// runs to quiescence, so merely completing proves no wakeup was lost
+// (a lost wakeup leaves a thread parked with work pending and the
+// quiesce barrier never closes); the probe rings then bound the
+// observed notify-to-running latency.
+TEST(RuntimeEventcount, ChurnHasNoLostWakeupsAndBoundedLatency) {
+  FleetOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = 4;
+  options.runtime.probes = true;
+  RuntimeFleet fleet(options);
+  fleet.start();
+  ProcessSet left;
+  ProcessSet right;
+  for (std::uint32_t i = 0; i < 2; ++i) left.insert(ProcessId(i));
+  for (std::uint32_t i = 2; i < 4; ++i) right.insert(ProcessId(i));
+  for (int round = 0; round < 5; ++round) {
+    fleet.partition({left, right});
+    fleet.merge();
+    fleet.crash(ProcessId(3));
+    fleet.recover(ProcessId(3));
+    fleet.merge();
+  }
+  const std::vector<ThreadProbeLog> logs = fleet.probe_logs();
+  fleet.stop();
+
+  std::uint64_t parks = 0;
+  std::uint64_t wakeups = 0;
+  for (const ThreadProbeLog& lane : logs) {
+    for (const ProbeEntry& e : lane.entries) {
+      if (e.kind == ProbeKind::kParked) ++parks;
+      if (e.kind == ProbeKind::kWakeup) {
+        ++wakeups;
+        // Generous bound: the CI box is single-core, so a wakeup can
+        // wait out several scheduler quanta — but never seconds.
+        EXPECT_LT(e.value, 2'000'000'000u);
+      }
+    }
+  }
+  EXPECT_GT(parks, 0u);
+  EXPECT_GT(wakeups, 0u);
+}
+
+}  // namespace
+}  // namespace dynvote::obs

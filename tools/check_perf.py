@@ -57,9 +57,12 @@ import sys
 from pathlib import Path
 
 # Keys whose numeric values measure time or throughput on the host
-# machine: tolerance-banded rather than exact.
-TIMING_MARKERS = ("wall", "_ms", "ms_", "_us", "us_", "time", "per_sec",
-                  "speedup", "ns", "cpu", "rate", "iterations")
+# machine: tolerance-banded rather than exact. Unit suffixes match as
+# "_ns" / "ns_" (not the bare substring): a bare "ns" would classify
+# deterministic counts like "violations" or "formed_sessions" as noisy
+# timing and exempt them from the exact-match contract.
+TIMING_MARKERS = ("wall", "_ms", "ms_", "_us", "us_", "_ns", "ns_", "time",
+                  "per_sec", "speedup", "cpu", "rate", "iterations")
 
 # Baseline-only annotation written by --update / auto-record; never
 # emitted by the benches themselves, so it is stripped before comparing.

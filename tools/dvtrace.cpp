@@ -12,6 +12,11 @@
 //                                            table, slowest reconfigs with
 //                                            flight-recorder root causes,
 //                                            time series, post-mortems
+//   dvtrace runtime <runtime_probes.json>    wall-clock probe report: per-lane
+//                                            summary, reconfiguration phase
+//                                            breakdown, merged cross-thread
+//                                            drill-down of the slowest window,
+//                                            optional Chrome trace export
 //
 // Trace commands accept `--group G` on sharded traces (meta carries the
 // fleet shape): the trace is restricted to group G's events before the
@@ -22,6 +27,12 @@
 // `--expect-postmortem` makes the exit code assert that at least one
 // post-mortem with an intact causal chain is present (the violation-demo
 // check in run_experiments.sh).
+//
+// `runtime` takes the probe document bench_runtime exports (also not a
+// trace): the per-thread wall-clock probe rings of the thread-per-process
+// backend. `--top K` bounds the slowest-window drill-down and
+// `--chrome FILE` writes a validated Chrome trace-event export of the
+// whole document (one tid per lane, async span per reconfiguration).
 //
 // Exit codes: 0 success, 1 a check failed (Theorem-1 bound exceeded, no
 // causal root, Chrome JSON invalid, missing expected post-mortem),
@@ -42,8 +53,10 @@
 
 #include "harness/trace_replay.hpp"
 #include "obs/metrics.hpp"
+#include "obs/runtime_probe.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
+#include "util/ensure.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -68,6 +81,8 @@ int usage() {
          "                                        Chrome trace-event JSON\n"
          "  fleet <fleet_telemetry.json> [--top K] [--expect-postmortem]\n"
          "                                        fleet health report\n"
+         "  runtime <runtime_probes.json> [--top K] [--chrome FILE]\n"
+         "                                        wall-clock probe report\n"
          "trace commands accept --group G on sharded traces (restricts\n"
          "the trace to group G before the command runs)\n";
   return 2;
@@ -233,10 +248,14 @@ std::uint64_t counter_of(const JsonValue& registry, std::string_view name) {
 
 /// An exported histogram: summary stats plus the sparse [index, count]
 /// bucket pairs re-densified so histogram_quantile can walk them.
+/// `unit` is the explicit metadata stamped by MetricsRegistry::to_json
+/// since telemetry schema v2 ("ticks" | "ns" | "us" | "bytes"); empty on
+/// older documents or unitless histograms.
 struct ExportedHistogram {
   std::uint64_t count = 0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
+  std::string unit;
   std::vector<std::uint64_t> buckets;
 
   [[nodiscard]] double quantile(double q) const {
@@ -254,11 +273,15 @@ std::optional<ExportedHistogram> histogram_of(const JsonValue& registry,
   out.count = value->at("count").as_uint();
   out.min = value->at("min").as_uint();
   out.max = value->at("max").as_uint();
-  for (const JsonValue& pair : value->at("buckets").as_array()) {
-    const auto index = pair.as_array().at(0).as_uint();
-    const auto bucket_count = pair.as_array().at(1).as_uint();
-    if (index >= out.buckets.size()) out.buckets.resize(index + 1, 0);
-    out.buckets[index] = bucket_count;
+  if (const JsonValue* unit = value->find("unit")) out.unit = unit->as_string();
+  // Empty histograms export no "buckets" key at all.
+  if (const JsonValue* buckets = value->find("buckets")) {
+    for (const JsonValue& pair : buckets->as_array()) {
+      const auto index = pair.as_array().at(0).as_uint();
+      const auto bucket_count = pair.as_array().at(1).as_uint();
+      if (index >= out.buckets.size()) out.buckets.resize(index + 1, 0);
+      out.buckets[index] = bucket_count;
+    }
   }
   return out;
 }
@@ -328,10 +351,19 @@ int cmd_fleet(const JsonValue& doc, std::size_t top,
             << counter_of(rollup, "dv.ambiguity_ticks") << "us\n\n";
 
   // Per-shard health table; percentiles recomputed from each group's
-  // exported bucket counts.
-  dynvote::Table table({"group", "formed", "reconfigs", "p50 reconf",
-                        "p99 reconf", "ambiguity us"});
+  // exported bucket counts. Latency column unit comes from the explicit
+  // histogram metadata (schema v2); pre-v2 documents fall back to the
+  // historical tick label.
   const JsonValue& groups = doc.at("groups");
+  std::string latency_unit = "ticks";
+  for (const JsonValue& registry : groups.as_array()) {
+    const auto latency = histogram_of(registry, "shard.reconfig_latency_ticks");
+    if (latency && !latency->unit.empty()) latency_unit = latency->unit;
+    if (latency) break;
+  }
+  dynvote::Table table({"group", "formed", "reconfigs",
+                        "p50 reconf " + latency_unit,
+                        "p99 reconf " + latency_unit, "ambiguity us"});
   for (std::size_t g = 0; g < groups.as_array().size(); ++g) {
     const JsonValue& registry = groups.as_array()[g];
     const auto latency = histogram_of(registry, "shard.reconfig_latency_ticks");
@@ -446,6 +478,193 @@ bool validate_chrome(const JsonValue& doc, std::string& error) {
   return true;
 }
 
+// -- runtime probe report ------------------------------------------------------
+
+using dynvote::obs::ProbeEntry;
+using dynvote::obs::ProbeKind;
+using dynvote::obs::ReconfigWindow;
+using dynvote::obs::RuntimeProbeDoc;
+
+std::string lane_name(std::uint32_t thread) {
+  return thread == dynvote::obs::kControllerLane
+             ? "ctl"
+             : "p" + std::to_string(thread);
+}
+
+/// One merged-timeline line. `value` is kind-specific: a queue depth for
+/// pushes, a nanosecond duration for everything else (see ProbeKind).
+std::string describe_probe(std::uint32_t thread, const ProbeEntry& e) {
+  std::string out =
+      "[" +
+      dynvote::format_double(static_cast<double>(e.t_ns) / 1000.0, 1) +
+      "us] " + lane_name(thread) + " " + std::string(to_string(e.kind));
+  switch (e.kind) {
+    case ProbeKind::kLinkPush:
+    case ProbeKind::kControlPush:
+      out += " depth=" + std::to_string(e.value);
+      break;
+    default:
+      if (e.value != 0) {
+        out += " " +
+               dynvote::format_double(
+                   static_cast<double>(e.value) / 1000.0, 1) +
+               "us";
+      }
+      break;
+  }
+  if (e.link == dynvote::obs::kControllerLane) {
+    out += " link=ctl";
+  } else if (e.link != dynvote::obs::kNoLane) {
+    out += " link=" + std::to_string(e.link);
+  }
+  if (e.eid != 0) out += " <- #" + std::to_string(e.eid);
+  return out;
+}
+
+int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
+                const std::string& chrome_path) {
+  std::size_t total_events = 0;
+  std::uint64_t total_dropped = 0;
+  for (const auto& lane : doc.threads) {
+    total_events += lane.entries.size();
+    total_dropped += lane.dropped;
+  }
+  std::cout << "runtime probes: protocol=" << doc.meta.protocol
+            << " n=" << doc.meta.n << " wheel_tick="
+            << doc.meta.wheel_tick_us << "us lanes=" << doc.threads.size()
+            << " events=" << total_events;
+  if (total_dropped != 0) {
+    std::cout << " (TRUNCATED: " << total_dropped << " evicted)";
+  }
+  std::cout << "\n\n";
+
+  // Per-lane summary; wakeup p99 recomputed directly from the retained
+  // entries (the exact samples, not histogram buckets).
+  dynvote::Table lanes({"lane", "events", "dropped", "pushes", "pops",
+                        "backpressure", "parks", "park ms", "wakeup p99 us",
+                        "handlers"});
+  for (const auto& lane : doc.threads) {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t handlers = 0;
+    std::uint64_t park_ns = 0;
+    dynvote::Summary wakeups;
+    for (const ProbeEntry& e : lane.entries) {
+      switch (e.kind) {
+        case ProbeKind::kLinkPush:
+        case ProbeKind::kControlPush:
+          ++pushes;
+          break;
+        case ProbeKind::kLinkPop:
+        case ProbeKind::kControlPop:
+          ++pops;
+          break;
+        case ProbeKind::kLinkPushFailed:
+          ++failed;
+          break;
+        case ProbeKind::kParked:
+          ++parks;
+          park_ns += e.value;
+          break;
+        case ProbeKind::kWakeup:
+          wakeups.add(static_cast<double>(e.value));
+          break;
+        case ProbeKind::kHandlerMessage:
+        case ProbeKind::kHandlerControl:
+        case ProbeKind::kHandlerTimer:
+          ++handlers;
+          break;
+        default:
+          break;
+      }
+    }
+    lanes.add_row(
+        {lane_name(lane.thread), std::to_string(lane.entries.size()),
+         std::to_string(lane.dropped), std::to_string(pushes),
+         std::to_string(pops), std::to_string(failed), std::to_string(parks),
+         dynvote::format_double(static_cast<double>(park_ns) / 1e6, 1),
+         wakeups.empty()
+             ? "-"
+             : dynvote::format_double(wakeups.percentile(0.99) / 1000.0, 1),
+         std::to_string(handlers)});
+  }
+  std::cout << lanes.to_string() << "\n";
+
+  // Phase breakdown per reconfiguration window, attributed on the
+  // critical (last-forming) thread by the bench.
+  const auto pct = [](std::uint64_t part, std::uint64_t wall) {
+    return wall == 0 ? std::string("-")
+                     : dynvote::format_double(
+                           100.0 * static_cast<double>(part) /
+                               static_cast<double>(wall),
+                           1);
+  };
+  dynvote::Table reconfigs({"#", "verb", "critical", "wall us", "queued %",
+                            "parked %", "exec %", "slop %", "unattr %"});
+  const ReconfigWindow* slowest = nullptr;
+  std::size_t slowest_index = 0;
+  for (std::size_t i = 0; i < doc.reconfigs.size(); ++i) {
+    const ReconfigWindow& w = doc.reconfigs[i];
+    reconfigs.add_row(
+        {std::to_string(i), w.verb, lane_name(w.critical_thread),
+         dynvote::format_double(static_cast<double>(w.phases.wall_ns) / 1000.0,
+                                1),
+         pct(w.phases.queued_ns, w.phases.wall_ns),
+         pct(w.phases.parked_ns, w.phases.wall_ns),
+         pct(w.phases.executing_ns, w.phases.wall_ns),
+         pct(w.phases.timer_slop_ns, w.phases.wall_ns),
+         pct(w.phases.unattributed_ns, w.phases.wall_ns)});
+    if (slowest == nullptr || w.phases.wall_ns > slowest->phases.wall_ns) {
+      slowest = &w;
+      slowest_index = i;
+    }
+  }
+  std::cout << "reconfigurations: " << doc.reconfigs.size() << "\n"
+            << reconfigs.to_string() << "\n";
+
+  // Drill-down: every lane's entries stamped inside the slowest window,
+  // merged into one timeline ordered by wall-clock nanosecond.
+  if (slowest != nullptr) {
+    std::vector<std::pair<std::uint32_t, ProbeEntry>> merged;
+    for (const auto& lane : doc.threads) {
+      for (const ProbeEntry& e : lane.entries) {
+        if (e.t_ns >= slowest->t0_ns && e.t_ns < slowest->t1_ns) {
+          merged.emplace_back(lane.thread, e);
+        }
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.t_ns < b.second.t_ns;
+                     });
+    const std::size_t shown = std::min(top, merged.size());
+    std::cout << "slowest reconfiguration: #" << slowest_index << " "
+              << slowest->verb << " wall="
+              << dynvote::format_double(
+                     static_cast<double>(slowest->phases.wall_ns) / 1000.0, 1)
+              << "us critical=" << lane_name(slowest->critical_thread)
+              << ", merged timeline (first " << shown << " of "
+              << merged.size() << " events):\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::cout << "  " << describe_probe(merged[i].first, merged[i].second)
+                << "\n";
+    }
+  }
+
+  if (!chrome_path.empty()) {
+    const JsonValue chrome = dynvote::obs::runtime_probe_chrome_json(doc);
+    std::string error;
+    if (!validate_chrome(chrome, error)) {
+      std::cerr << "dvtrace: invalid Chrome trace JSON: " << error << "\n";
+      return 1;
+    }
+    return emit_json(chrome, chrome_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -477,6 +696,33 @@ int main(int argc, char** argv) {
     try {
       return cmd_fleet(JsonValue::parse(*text), top, expect_postmortem);
     } catch (const dynvote::JsonError& e) {
+      std::cerr << "dvtrace: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // `runtime` consumes the probe document bench_runtime exports — also
+  // not a trace.
+  if (command == "runtime") {
+    std::size_t top = 32;
+    std::string chrome_path;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--top" && i + 1 < argc) {
+        top = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--chrome" && i + 1 < argc) {
+        chrome_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    try {
+      return cmd_runtime(dynvote::obs::load_runtime_probes(*text), top,
+                         chrome_path);
+    } catch (const dynvote::JsonError& e) {
+      std::cerr << "dvtrace: " << path << ": " << e.what() << "\n";
+      return 2;
+    } catch (const dynvote::InvariantViolation& e) {
       std::cerr << "dvtrace: " << path << ": " << e.what() << "\n";
       return 2;
     }

@@ -87,6 +87,17 @@ if [ -f results/fleet_violation_telemetry.json ]; then
   cat results/fleet_violation_report.txt
 fi
 
+# Wall-clock probe artifacts from bench_runtime: the per-lane report
+# with the reconfiguration phase breakdown, plus the Chrome trace-event
+# export (validated by dvtrace before it is written — an invalid export
+# fails the script).
+if [ -f results/runtime_probes.json ]; then
+  echo "== dvtrace runtime (results/runtime_probes.json)"
+  build/tools/dvtrace runtime results/runtime_probes.json \
+    --chrome results/runtime_chrome.json > results/runtime_report.txt
+  cat results/runtime_report.txt
+fi
+
 # Tier-1 suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   echo "== tier-1 tests under ASan/UBSan (build-asan/)"
@@ -108,8 +119,11 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
 
   # The thread-runtime bench under ASan/UBSan, in quick mode (widths
   # {4,8}, 3 cycles). Its phase 0 re-runs the DES-vs-runtime cross-check
-  # on 8 seeds, so a divergence under sanitizers fails the script here;
-  # JSON export is disabled so the quick payload cannot clobber the real
+  # on 8 seeds — each seed both probes-off and probes-on, asserting the
+  # probe layer is digest-neutral — and its phase 3 gates the probe
+  # overhead at < 5% with outcome-digest equality, so a divergence or an
+  # overhead blowout under sanitizers fails the script here; JSON export
+  # is disabled so the quick payload cannot clobber the real
   # results/BENCH_runtime.json.
   echo "== bench_runtime under ASan/UBSan (quick mode)"
   env -u DYNVOTE_JSON_DIR DYNVOTE_RUNTIME_QUICK=1 build-asan/bench/bench_runtime
@@ -119,8 +133,9 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   # workers exercise concurrently, the multi-group shard sweep
   # (SweepShards.*), which runs whole fleets on the pool, and the
   # thread-per-process runtime backend (RuntimeSpsc/Wheel/Fleet plus the
-  # DES cross-check, which drives real thread fleets). TSan needs its
-  # own build tree.
+  # DES cross-check, which drives real thread fleets; RuntimeProbe and
+  # RuntimeEventcount add the wall-clock probe rings and the eventcount
+  # wakeup stress across 4+ threads). TSan needs its own build tree.
   echo "== sweep-pool + persistence + runtime tests under TSan (build-tsan/)"
   if [ -f build-tsan/CMakeCache.txt ]; then
     cmake -B build-tsan -DDYNVOTE_SANITIZE=thread
@@ -129,7 +144,7 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.|RuntimeSpsc\.|RuntimeWheel\.|RuntimeFleet\.|RuntimeCrossCheck\.)'
+    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.|RuntimeSpsc\.|RuntimeWheel\.|RuntimeFleet\.|RuntimeCrossCheck\.|RuntimeProbe\.|RuntimeEventcount\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
