@@ -1,40 +1,59 @@
-// Wall-clock benchmark of the thread runtime (experiment C5, real time).
+// Wall-clock benchmark of the real-time runtimes (experiment C5).
 //
-// Four phases:
+// Six phases:
 //
 //   (0) Correctness gate: the DES-as-oracle cross-check on 8 seeds for
-//       both paper protocols, each seed run probes-off AND probes-on.
-//       The bench *refuses to report numbers from a runtime that
-//       diverges from the simulator* — exit 1 — and likewise refuses if
-//       the wall-clock probe layer shifts any outcome digest
-//       (digest-neutrality: probes-on == probes-off == DES).
+//       both paper protocols, each seed run probes-off AND probes-on,
+//       on EVERY backend — thread-per-process and the M:N pool at
+//       W ∈ {1, 2, 4}. The bench *refuses to report numbers from a
+//       runtime that diverges from the simulator* — exit 1 — and
+//       likewise refuses if the wall-clock probe layer shifts any
+//       outcome digest (digest-neutrality: probes-on == probes-off ==
+//       DES, at every worker count).
 //
-//   (1) Reconfiguration latency: for each protocol in {basic, optimized,
-//       three_phase_recovery} and fleet width n in {4, 8, 16, 32}
-//       threads, repeatedly partition into majority/minority and merge
-//       back, measuring the wall-clock time from issuing the topology
-//       change until every member of the forming component has formed
-//       the new primary (per-process formation timestamps come from a
-//       ProtocolObserver on the process threads). Reports p50/p99.
+//   (1) Reconfiguration latency, thread backend: for each protocol in
+//       {basic, optimized, three_phase_recovery} and fleet width n in
+//       {4, 8, 16, 32} threads, repeatedly partition into
+//       majority/minority and merge back, measuring the wall-clock time
+//       from issuing the topology change until every member of the
+//       forming component has formed the new primary (per-process
+//       formation timestamps come from a ProtocolObserver on the
+//       process threads). Reports p50/p99.
 //
-//   (2) Phase breakdown: the same churn with probe rings on, attributing
-//       each reconfiguration's wall time on its critical (last-forming)
-//       thread into queued / parked / executing / timer-slop buckets
-//       (obs/runtime_probe.hpp). The four buckets plus the unattributed
-//       residue sum to the wall time exactly; the bench gates the
-//       residue below 10%, which is what makes the breakdown a
-//       measurement rather than an accounting identity. The optimized
-//       protocol's raw probe document is exported for `dvtrace runtime`.
+//   (2) Reconfiguration latency, pool backend: the same grid on the M:N
+//       scheduler (W = hardware_concurrency). Each cell's outcome
+//       digest must equal the thread backend's for the same seed-free
+//       workload — the two backends literally replay each other — and
+//       C5 must hold on the pool too (p50(optimized) < p50(three_phase)).
 //
-//   (3) Probe overhead: N adjacent probes-off/probes-on pairs of the
+//   (3) Phase breakdown: the phase-1 churn with probe rings on,
+//       attributing each reconfiguration's wall time on its critical
+//       (last-forming) lane into queued / parked / executing /
+//       timer-slop buckets (obs/runtime_probe.hpp). The four buckets
+//       plus the unattributed residue sum to the wall time exactly; the
+//       bench gates the residue below 10%, which is what makes the
+//       breakdown a measurement rather than an accounting identity. The
+//       optimized protocol's raw probe document is exported for
+//       `dvtrace runtime`, and a pool run (W=2) is exported alongside
+//       it so the per-worker lanes are inspectable.
+//
+//   (4) Probe overhead: N adjacent probes-off/probes-on pairs of the
 //       phase-1 cell, CPU-timed, identical outcome digests required;
 //       overhead = max(0, min-pair-ratio - 1), gated < 5% (estimator
-//       rationale in bench/bench_shards.cpp).
+//       rationale in bench/bench_shards.cpp). Run twice: thread backend
+//       and pool backend, both gated.
+//
+//   (5) Fleet-width scaling, pool only: n ∈ {64, 256, 1024} processes
+//       carved into groups of 32 that all re-form on every verb
+//       (alternating aligned / shifted-by-16 carves). Reports
+//       reconfiguration p50/p99 and formed-quorums/sec — the numbers
+//       the thread backend cannot produce at all past n≈32.
 //
 // The paper's claim C5 in real time: [17]-style three-phase recovery
 // needs 5 communication rounds per formation where the paper's
 // protocols need 2, so its reconfiguration latency must be higher at
-// every width — the bench asserts p50(optimized) < p50(three_phase).
+// every width — the bench asserts p50(optimized) < p50(three_phase),
+// on both backends.
 //
 // DYNVOTE_RUNTIME_QUICK=1 shrinks widths and iterations for sanitizer
 // runs (tools/run_experiments.sh); wall-clock keys in the JSON carry
@@ -42,9 +61,11 @@
 // cross-machine-meaningless absolute comparisons.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +74,7 @@
 #include "obs/runtime_probe.hpp"
 #include "runtime/crosscheck.hpp"
 #include "runtime/fleet.hpp"
+#include "runtime/pool_transport.hpp"
 #include "util/table.hpp"
 
 namespace dynvote::runtime {
@@ -131,15 +153,20 @@ struct MeasureOut {
 
 /// One partition/merge churn run. With `collect_windows` (requires
 /// probes) the rings are snapshotted after every reconfiguration and
-/// the window attributed on its critical thread's lane — snapshots must
+/// the window attributed on its critical lane — the process thread on
+/// the thread backend, the owning worker on the pool. Snapshots must
 /// be per-cycle because the rings overwrite in place, so waiting until
 /// the end could lose the early windows' entries.
 MeasureOut measure(ProtocolKind kind, std::uint32_t n, int cycles, bool probes,
-                   bool collect_windows) {
+                   bool collect_windows,
+                   RuntimeBackend backend = RuntimeBackend::kThreadPerProcess,
+                   std::uint32_t workers = 0) {
   FleetOptions options;
   options.kind = kind;
   options.n = n;
   options.runtime.probes = probes;
+  options.backend = backend;
+  options.workers = workers;
   RuntimeFleet fleet(options);
   FormationClock clock(n);
   ProcessSet majority;
@@ -162,7 +189,10 @@ MeasureOut measure(ProtocolKind kind, std::uint32_t n, int cycles, bool probes,
     window.verb = verb;
     window.t0_ns = t0_us * 1000;
     window.t1_ns = formed_us * 1000;
-    window.critical_thread = clock.critical(members);
+    // The lane the critical (last-forming) process executes on: its own
+    // thread on the thread backend, its owning worker on the pool.
+    window.critical_thread =
+        fleet.transport().lane_of(ProcessId(clock.critical(members)));
     out.logs = fleet.probe_logs();
     window.phases = attribute_window(out.logs[window.critical_thread].entries,
                                      window.t0_ns, window.t1_ns);
@@ -201,22 +231,25 @@ double cpu_time_ms() {
 /// rationale (episodic shared-runner noise inflates pairs, a real
 /// regression shifts all of them) is documented at
 /// bench/bench_shards.cpp's measure_overhead.
-bool measure_overhead(std::uint32_t n, int cycles, int reps,
-                      double& overhead) {
+bool measure_overhead(std::uint32_t n, int cycles, int reps, double& overhead,
+                      RuntimeBackend backend = RuntimeBackend::kThreadPerProcess,
+                      std::uint32_t workers = 0) {
   // Discarded warmup pair (pristine-heap bias, see bench_shards).
-  (void)measure(ProtocolKind::kOptimized, n, cycles, false, false);
-  (void)measure(ProtocolKind::kOptimized, n, cycles, true, false);
+  (void)measure(ProtocolKind::kOptimized, n, cycles, false, false, backend,
+                workers);
+  (void)measure(ProtocolKind::kOptimized, n, cycles, true, false, backend,
+                workers);
   double best_ratio = 0;
   std::uint64_t digest_on = 0;
   std::uint64_t digest_off = 0;
   for (int rep = 0; rep < reps; ++rep) {
     const bool off_first = rep % 2 == 0;
     const double t0 = cpu_time_ms();
-    const MeasureOut first =
-        measure(ProtocolKind::kOptimized, n, cycles, !off_first, false);
+    const MeasureOut first = measure(ProtocolKind::kOptimized, n, cycles,
+                                     !off_first, false, backend, workers);
     const double t1 = cpu_time_ms();
-    const MeasureOut second =
-        measure(ProtocolKind::kOptimized, n, cycles, off_first, false);
+    const MeasureOut second = measure(ProtocolKind::kOptimized, n, cycles,
+                                      off_first, false, backend, workers);
     const double t2 = cpu_time_ms();
     const double ms_off = off_first ? t1 - t0 : t2 - t1;
     const double ms_on = off_first ? t2 - t1 : t1 - t0;
@@ -227,6 +260,110 @@ bool measure_overhead(std::uint32_t n, int cycles, int reps,
   }
   overhead = std::max(0.0, best_ratio - 1.0);
   return digest_on == digest_off;
+}
+
+struct ScaleRow {
+  std::uint32_t n = 0;
+  std::uint32_t workers = 0;
+  std::size_t groups = 0;
+  std::size_t samples = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  double formed_per_sec = 0;
+};
+
+/// Fleet-width scaling on the pool backend (the thread backend caps at
+/// n≈32 runnable threads; the pool runs n=1024 over W workers).
+///
+/// Dynamic voting shapes the workload: only a component holding a
+/// majority of the LAST formed session can form the next one, so a
+/// balanced carve into groups of 32 would orphan the lineage and
+/// nothing would ever form again. Instead the bench (a) cascades the
+/// primary down by repeated majority halving (1024 -> 513 -> 257 ->
+/// 129 -> 65 -> 33) until the quorum is paper-sized, then (b) churns
+/// that 33-member quorum between two overlapping member sets while
+/// every other process rides along in inert groups of 32 whose views
+/// change on every verb — the background load that makes this a
+/// SCALING measurement: all n processes install views and exchange
+/// round-1 state on the same W workers the lineage needs. A latency
+/// sample is the wall time from issuing the carve until every member
+/// of the new quorum has formed; throughput is formed quorums over the
+/// churn loop's wall time.
+ScaleRow measure_scaling(std::uint32_t n, int cycles) {
+  constexpr std::uint32_t kGroup = 32;
+  FleetOptions options;
+  options.kind = ProtocolKind::kOptimized;
+  options.n = n;
+  options.backend = RuntimeBackend::kPool;
+  options.workers = 0;  // hardware_concurrency, clamped to [1, n]
+  RuntimeFleet fleet(options);
+  FormationClock clock(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fleet.protocol(ProcessId(i)).set_observer(&clock);
+  }
+  // One carve: the lineage members in one group, everyone else in inert
+  // groups of <= 32 (they install the view and discover they have no
+  // quorum; their membership still shifts between consecutive carves
+  // because the lineage edge moves, so every verb re-views all n).
+  auto carve = [n](std::uint32_t lo, std::uint32_t hi) {
+    std::vector<ProcessSet> groups(1);
+    std::vector<ProcessId> rest;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) {
+        groups[0].insert(ProcessId(i));
+      } else {
+        rest.push_back(ProcessId(i));
+      }
+    }
+    for (std::size_t j = 0; j < rest.size(); ++j) {
+      const std::size_t g = 1 + j / kGroup;
+      if (groups.size() <= g) groups.emplace_back();
+      groups[g].insert(rest[j]);
+    }
+    return groups;
+  };
+
+  ScaleRow row;
+  row.n = n;
+  row.workers = static_cast<PoolTransport&>(fleet.transport()).workers();
+
+  fleet.start();  // forms the n-member session the cascade shrinks
+  // (a) Majority cascade, outside the timed region: each step keeps
+  // floor(s/2)+1 members of the previous session, the one component
+  // that can re-form.
+  std::uint32_t quorum = n;
+  while (quorum > kGroup + 1) {
+    quorum = quorum / 2 + 1;
+    fleet.partition(carve(0, quorum));
+  }
+  row.groups = 1 + (n - quorum + kGroup - 1) / kGroup;
+
+  // (b) Timed churn: alternate the quorum between {0..q-1} and {1..q}.
+  // Each is a majority (all but one member) of the session the other
+  // formed, so the lineage hands over forever.
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(static_cast<std::size_t>(cycles) * 2);
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (const std::uint32_t lo : {1u, 0u}) {
+      const std::vector<ProcessSet> groups = carve(lo, lo + quorum);
+      const std::uint64_t t0 = fleet.transport().now();
+      fleet.partition(groups);
+      const std::uint64_t formed = clock.formed_by(groups[0], t0);
+      if (formed != 0) latencies.push_back(formed - t0);
+    }
+  }
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  fleet.stop();
+
+  row.samples = latencies.size();
+  row.p50_us = percentile(latencies, 50);
+  row.p99_us = percentile(latencies, 99);
+  row.formed_per_sec =
+      wall_sec > 0 ? static_cast<double>(latencies.size()) / wall_sec : 0;
+  return row;
 }
 
 struct PhaseStats {
@@ -283,11 +420,12 @@ int main() {
 
   const bool quick = std::getenv("DYNVOTE_RUNTIME_QUICK") != nullptr;
 
-  // ---- phase 0: the runtime must match the DES before it may report --
+  // ---- phase 0: the runtimes must match the DES before they may report
   std::puts(
-      "cross-check: DES oracle vs thread runtime, 8 seeds, probes off+on");
-  Table check_table(
-      {"protocol", "seeds", "digests equal", "C1 clean", "probes neutral"});
+      "cross-check: DES oracle vs thread + pool (W in {1,2,4}) runtimes, "
+      "8 seeds, probes off+on");
+  Table check_table({"protocol", "seeds", "backends", "digests equal",
+                     "C1 clean", "probes neutral"});
   JsonValue check_rows = JsonValue::array();
   bool all_equal = true;
   bool all_c1 = true;
@@ -320,11 +458,13 @@ int main() {
       }
       c1 &= result.c1_clean && probed.c1_clean;
     }
-    check_table.add_row({to_string(kind), "8", equal ? "yes" : "NO",
+    // 5 backends per seed: DES, thread, pool W=1/2/4.
+    check_table.add_row({to_string(kind), "8", "5", equal ? "yes" : "NO",
                          c1 ? "yes" : "NO", neutral ? "yes" : "NO"});
     JsonValue row = JsonValue::object();
     row.set("protocol", JsonValue(to_string(kind)));
     row.set("seeds", JsonValue(std::uint64_t{8}));
+    row.set("pool_worker_counts", JsonValue(std::uint64_t{3}));
     row.set("digests_equal", JsonValue(equal));
     row.set("c1_clean", JsonValue(c1));
     row.set("probes_digest_equal", JsonValue(neutral));
@@ -357,11 +497,16 @@ int main() {
   std::vector<LatencyRow> rows;
   std::vector<std::uint64_t> optimized_all;
   std::vector<std::uint64_t> three_phase_all;
+  // Per-cell outcome digests, compared against the pool phase below:
+  // the two backends run the identical workload, so the transcripts
+  // must be byte-identical.
+  std::map<std::pair<int, std::uint32_t>, std::uint64_t> thread_digests;
   for (ProtocolKind kind : kinds) {
     for (std::uint32_t n : widths) {
-      const std::vector<std::uint64_t> samples =
-          measure(kind, n, cycles, /*probes=*/false, /*collect_windows=*/false)
-              .latencies;
+      const MeasureOut cell =
+          measure(kind, n, cycles, /*probes=*/false, /*collect_windows=*/false);
+      const std::vector<std::uint64_t>& samples = cell.latencies;
+      thread_digests[{static_cast<int>(kind), n}] = cell.digest;
       LatencyRow row;
       row.kind = kind;
       row.n = n;
@@ -393,7 +538,61 @@ int main() {
               optimized_faster ? "2-round protocol is faster"
                                : "VIOLATION: 5-round protocol won");
 
-  // ---- phase 2: where the reconfiguration microseconds go ------------
+  // ---- phase 2: the same grid on the M:N pool ------------------------
+  std::printf("\nreconfiguration latency, pool backend (W = "
+              "hardware_concurrency, %d cycles)\n",
+              cycles);
+  Table pool_table(
+      {"protocol", "n", "samples", "p50 us", "p99 us", "digest vs thread"});
+  std::vector<LatencyRow> pool_rows;
+  std::vector<std::uint64_t> pool_optimized_all;
+  std::vector<std::uint64_t> pool_three_phase_all;
+  bool pool_digests_match = true;
+  for (ProtocolKind kind : kinds) {
+    for (std::uint32_t n : widths) {
+      const MeasureOut cell =
+          measure(kind, n, cycles, /*probes=*/false, /*collect_windows=*/false,
+                  RuntimeBackend::kPool);
+      const bool match = cell.digest == thread_digests[{static_cast<int>(kind), n}];
+      pool_digests_match &= match;
+      LatencyRow row;
+      row.kind = kind;
+      row.n = n;
+      row.samples = cell.latencies.size();
+      row.p50_us = percentile(cell.latencies, 50);
+      row.p99_us = percentile(cell.latencies, 99);
+      pool_table.add_row({to_string(kind), std::to_string(n),
+                          std::to_string(row.samples),
+                          std::to_string(row.p50_us),
+                          std::to_string(row.p99_us),
+                          match ? "equal" : "DIVERGED"});
+      pool_rows.push_back(row);
+      if (kind == ProtocolKind::kOptimized) {
+        pool_optimized_all.insert(pool_optimized_all.end(),
+                                  cell.latencies.begin(),
+                                  cell.latencies.end());
+      } else if (kind == ProtocolKind::kThreePhaseRecovery) {
+        pool_three_phase_all.insert(pool_three_phase_all.end(),
+                                    cell.latencies.begin(),
+                                    cell.latencies.end());
+      }
+    }
+  }
+  std::printf("%s\n", pool_table.to_string().c_str());
+
+  const std::uint64_t pool_optimized_p50 = percentile(pool_optimized_all, 50);
+  const std::uint64_t pool_three_phase_p50 =
+      percentile(pool_three_phase_all, 50);
+  const bool pool_optimized_faster = pool_optimized_p50 < pool_three_phase_p50;
+  std::printf("C5 on the pool: optimized p50 %llu us vs three-phase recovery "
+              "p50 %llu us -> %s; per-cell digests %s\n",
+              static_cast<unsigned long long>(pool_optimized_p50),
+              static_cast<unsigned long long>(pool_three_phase_p50),
+              pool_optimized_faster ? "2-round protocol is faster"
+                                    : "VIOLATION: 5-round protocol won",
+              pool_digests_match ? "all equal thread backend" : "DIVERGED");
+
+  // ---- phase 3: where the reconfiguration microseconds go ------------
   const std::uint32_t phase_n = quick ? 4 : 8;
   const int phase_cycles = quick ? 3 : 8;
   std::printf("\nphase breakdown, probes on (n=%u, %d cycles, attributed on "
@@ -446,6 +645,7 @@ int main() {
   meta.protocol = to_string(ProtocolKind::kOptimized);
   meta.n = phase_n;
   meta.wheel_tick_us = RuntimeOptions{}.wheel_tick_us;
+  meta.workers = 0;  // thread backend: one lane per process
   const std::string probes_path = write_json_file(
       "runtime_probes.json",
       runtime_probes_json(meta, flagship_logs, flagship_windows));
@@ -453,7 +653,26 @@ int main() {
     std::printf("probe document -> %s\n", probes_path.c_str());
   }
 
-  // ---- phase 3: what the probes cost ---------------------------------
+  // A probed pool run of the same cell at W=2, exported so `dvtrace
+  // runtime` has per-worker lanes (batch sizes, run-queue depths,
+  // handoffs) to render and the Chrome export maps one tid per worker.
+  {
+    MeasureOut pool_probed =
+        measure(ProtocolKind::kOptimized, phase_n, phase_cycles,
+                /*probes=*/true, /*collect_windows=*/true,
+                RuntimeBackend::kPool, /*workers=*/2);
+    obs::RuntimeProbeMeta pool_meta = meta;
+    pool_meta.workers = 2;
+    const std::string pool_probes_path = write_json_file(
+        "runtime_pool_probes.json",
+        runtime_probes_json(pool_meta, pool_probed.logs, pool_probed.windows));
+    if (!pool_probes_path.empty()) {
+      std::printf("pool probe document (W=2) -> %s\n",
+                  pool_probes_path.c_str());
+    }
+  }
+
+  // ---- phase 4: what the probes cost ---------------------------------
   double overhead = 0;
   const bool overhead_digests_equal =
       // Quick mode uses more cycles/reps per cell than the rest of the
@@ -462,10 +681,46 @@ int main() {
       // min-of-pairs estimator needs enough pairs for one clean one.
       measure_overhead(phase_n, quick ? 6 : 4, quick ? 6 : 5, overhead);
   const bool overhead_ok = overhead < 0.05 && overhead_digests_equal;
-  std::printf("probe overhead (min of adjacent-pair CPU ratios): %.2f%% "
-              "(budget 5%%) digests %s -> %s\n",
+  std::printf("probe overhead, thread backend (min of adjacent-pair CPU "
+              "ratios): %.2f%% (budget 5%%) digests %s -> %s\n",
               overhead * 100.0, overhead_digests_equal ? "equal" : "UNEQUAL",
               overhead_ok ? "ok" : "FAIL");
+
+  double pool_overhead = 0;
+  const bool pool_overhead_digests_equal =
+      measure_overhead(phase_n, quick ? 6 : 4, quick ? 6 : 5, pool_overhead,
+                       RuntimeBackend::kPool);
+  const bool pool_overhead_ok = pool_overhead < 0.05 &&
+                                pool_overhead_digests_equal;
+  std::printf("probe overhead, pool backend: %.2f%% (budget 5%%) digests %s "
+              "-> %s\n",
+              pool_overhead * 100.0,
+              pool_overhead_digests_equal ? "equal" : "UNEQUAL",
+              pool_overhead_ok ? "ok" : "FAIL");
+
+  // ---- phase 5: fleet-width scaling on the pool ----------------------
+  const std::vector<std::uint32_t> scale_widths =
+      quick ? std::vector<std::uint32_t>{64}
+            : std::vector<std::uint32_t>{64, 256, 1024};
+  const int scale_cycles = quick ? 2 : 3;
+  std::printf("\nfleet-width scaling, pool backend (groups of 32, %d "
+              "alternating-carve cycles)\n",
+              scale_cycles);
+  Table scale_table({"n", "workers", "groups", "samples", "reconfig p50 us",
+                     "reconfig p99 us", "formed quorums/s"});
+  std::vector<ScaleRow> scale_rows;
+  for (const std::uint32_t n : scale_widths) {
+    const ScaleRow row = measure_scaling(n, scale_cycles);
+    char rate[64];
+    std::snprintf(rate, sizeof rate, "%.1f", row.formed_per_sec);
+    scale_table.add_row({std::to_string(row.n), std::to_string(row.workers),
+                         std::to_string(row.groups),
+                         std::to_string(row.samples),
+                         std::to_string(row.p50_us),
+                         std::to_string(row.p99_us), rate});
+    scale_rows.push_back(row);
+  }
+  std::printf("%s\n", scale_table.to_string().c_str());
 
   JsonValue result = JsonValue::object();
   result.set("experiment", JsonValue("runtime"));
@@ -491,6 +746,20 @@ int main() {
     latency_rows.push_back(std::move(json_row));
   }
   result.set("rows", std::move(latency_rows));
+
+  JsonValue pool_latency_rows = JsonValue::array();
+  for (const LatencyRow& row : pool_rows) {
+    JsonValue json_row = JsonValue::object();
+    json_row.set("protocol", JsonValue(to_string(row.kind)));
+    json_row.set("n", JsonValue(std::uint64_t{row.n}));
+    json_row.set("samples", JsonValue(std::uint64_t{row.samples}));
+    json_row.set("p50_us", JsonValue(row.p50_us));
+    json_row.set("p50_us_budget", JsonValue(std::uint64_t{2000000}));
+    json_row.set("p99_us", JsonValue(row.p99_us));
+    json_row.set("p99_us_budget", JsonValue(std::uint64_t{10000000}));
+    pool_latency_rows.push_back(std::move(json_row));
+  }
+  result.set("pool_rows", std::move(pool_latency_rows));
 
   JsonValue phases = JsonValue::object();
   phases.set("n", JsonValue(std::uint64_t{phase_n}));
@@ -518,6 +787,10 @@ int main() {
   overhead_json.set("probe_overhead_frac", JsonValue(overhead));
   overhead_json.set("probe_overhead_frac_budget", JsonValue(0.05));
   overhead_json.set("digests_equal", JsonValue(overhead_digests_equal));
+  overhead_json.set("pool_probe_overhead_frac", JsonValue(pool_overhead));
+  overhead_json.set("pool_probe_overhead_frac_budget", JsonValue(0.05));
+  overhead_json.set("pool_digests_equal",
+                    JsonValue(pool_overhead_digests_equal));
   result.set("overhead", std::move(overhead_json));
 
   JsonValue comparison = JsonValue::object();
@@ -528,7 +801,51 @@ int main() {
                  JsonValue(std::uint64_t{10000000}));
   comparison.set("optimized_faster", JsonValue(optimized_faster));
   result.set("comparison", std::move(comparison));
+
+  JsonValue pool_comparison = JsonValue::object();
+  pool_comparison.set("optimized_p50_us", JsonValue(pool_optimized_p50));
+  pool_comparison.set("optimized_p50_us_budget",
+                      JsonValue(std::uint64_t{2000000}));
+  pool_comparison.set("three_phase_p50_us", JsonValue(pool_three_phase_p50));
+  pool_comparison.set("three_phase_p50_us_budget",
+                      JsonValue(std::uint64_t{10000000}));
+  pool_comparison.set("optimized_faster", JsonValue(pool_optimized_faster));
+  pool_comparison.set("digests_match_thread_backend",
+                      JsonValue(pool_digests_match));
+  result.set("pool_comparison", std::move(pool_comparison));
+
+  JsonValue scaling = JsonValue::object();
+  scaling.set("group_size", JsonValue(std::uint64_t{32}));
+  scaling.set("cycles", JsonValue(std::uint64_t{
+                            static_cast<std::uint64_t>(scale_cycles)}));
+  JsonValue scale_json_rows = JsonValue::array();
+  for (const ScaleRow& row : scale_rows) {
+    JsonValue json_row = JsonValue::object();
+    json_row.set("n", JsonValue(std::uint64_t{row.n}));
+    // Worker count is machine-dependent (hardware_concurrency); the
+    // "pool_threads" key is on check_perf's machine-context skip list.
+    json_row.set("pool_threads", JsonValue(std::uint64_t{row.workers}));
+    json_row.set("groups", JsonValue(std::uint64_t{row.groups}));
+    json_row.set("samples", JsonValue(std::uint64_t{row.samples}));
+    json_row.set("p50_us", JsonValue(row.p50_us));
+    json_row.set("p50_us_budget", JsonValue(std::uint64_t{30000000}));
+    json_row.set("p99_us", JsonValue(row.p99_us));
+    json_row.set("p99_us_budget", JsonValue(std::uint64_t{60000000}));
+    json_row.set("formed_quorums_per_sec", JsonValue(row.formed_per_sec));
+    // Lower-bound gate (check_perf "_floor"): throughput regresses
+    // downward, so the rate gets a floor, not a budget. Every verb
+    // re-views all n processes and each protocol message carries the
+    // previous session's n-member set, so one handover at n=1024 costs
+    // seconds of single-core time — the floor must hold there too.
+    json_row.set("formed_quorums_per_sec_floor", JsonValue(0.1));
+    scale_json_rows.push_back(std::move(json_row));
+  }
+  scaling.set("rows", std::move(scale_json_rows));
+  result.set("scaling", std::move(scaling));
   emit_bench_result("runtime", result);
 
-  return optimized_faster && phases_ok && overhead_ok ? 0 : 1;
+  return optimized_faster && pool_optimized_faster && pool_digests_match &&
+                 phases_ok && overhead_ok && pool_overhead_ok
+             ? 0
+             : 1;
 }

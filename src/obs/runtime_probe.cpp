@@ -35,6 +35,12 @@ std::string_view to_string(ProbeKind kind) {
       return "h_ctl";
     case ProbeKind::kHandlerTimer:
       return "h_timer";
+    case ProbeKind::kBatch:
+      return "batch";
+    case ProbeKind::kRunQueue:
+      return "run_queue";
+    case ProbeKind::kHandoff:
+      return "handoff";
   }
   return "?";
 }
@@ -45,7 +51,8 @@ ProbeKind probe_kind_from_string(std::string_view name) {
         ProbeKind::kControlPush, ProbeKind::kControlPop, ProbeKind::kParked,
         ProbeKind::kTimerSlop, ProbeKind::kWakeup, ProbeKind::kTimerSchedule,
         ProbeKind::kTimerFire, ProbeKind::kHandlerMessage,
-        ProbeKind::kHandlerControl, ProbeKind::kHandlerTimer}) {
+        ProbeKind::kHandlerControl, ProbeKind::kHandlerTimer,
+        ProbeKind::kBatch, ProbeKind::kRunQueue, ProbeKind::kHandoff}) {
     if (to_string(kind) == name) return kind;
   }
   ensure(false, "unknown probe kind " + std::string(name));
@@ -246,6 +253,17 @@ void aggregate_probe_metrics(const std::vector<ThreadProbeLog>& logs,
           r.counter("rt.probe.handlers").increment();
           r.histogram("rt.probe.handler_ns").observe(e.value);
           break;
+        case ProbeKind::kBatch:
+          r.counter("rt.probe.batches").increment();
+          r.histogram("rt.probe.batch_size").observe(e.value);
+          break;
+        case ProbeKind::kRunQueue:
+          r.histogram("rt.probe.run_queue_depth").observe(e.value);
+          break;
+        case ProbeKind::kHandoff:
+          r.counter("rt.probe.handoffs").increment();
+          r.histogram("rt.probe.queue_depth").observe(e.value);
+          break;
       }
     }
   }
@@ -308,6 +326,7 @@ JsonValue runtime_probes_json(const RuntimeProbeMeta& meta,
   out.set("protocol", JsonValue(meta.protocol));
   out.set("n", JsonValue(std::uint64_t{meta.n}));
   out.set("wheel_tick_us", JsonValue(meta.wheel_tick_us));
+  out.set("workers", JsonValue(std::uint64_t{meta.workers}));
 
   JsonValue threads = JsonValue::array();
   threads.reserve(logs.size());
@@ -347,6 +366,9 @@ RuntimeProbeDoc load_runtime_probes(const std::string& text) {
   doc.meta.protocol = json.at("protocol").as_string();
   doc.meta.n = static_cast<std::uint32_t>(json.at("n").as_uint());
   doc.meta.wheel_tick_us = json.at("wheel_tick_us").as_uint();
+  const JsonValue* workers = json.find("workers");
+  doc.meta.workers =
+      workers == nullptr ? 0 : static_cast<std::uint32_t>(workers->as_uint());
   for (const JsonValue& lane : json.at("threads").as_array()) {
     ThreadProbeLog log;
     log.thread = static_cast<std::uint32_t>(lane.at("thread").as_uint());
@@ -379,8 +401,9 @@ RuntimeProbeDoc load_runtime_probes(const std::string& text) {
 
 namespace {
 
-std::string lane_name(std::uint32_t thread) {
-  return thread == kControllerLane ? "ctl" : "p" + std::to_string(thread);
+std::string lane_name(std::uint32_t thread, std::uint32_t workers) {
+  if (thread == kControllerLane) return "ctl";
+  return (workers > 0 ? "w" : "p") + std::to_string(thread);
 }
 
 JsonValue chrome_slice(const std::string& name, std::uint64_t tid,
@@ -419,10 +442,25 @@ JsonValue runtime_probe_chrome_json(const RuntimeProbeDoc& doc) {
   process_meta.set("ph", JsonValue("M"));
   process_meta.set("pid", JsonValue(std::uint64_t{1}));
   JsonValue process_args = JsonValue::object();
-  process_args.set("name", JsonValue("dynvote-runtime " + doc.meta.protocol +
-                                     " n=" + std::to_string(doc.meta.n)));
+  std::string run_name =
+      "dynvote-runtime " + doc.meta.protocol + " n=" + std::to_string(doc.meta.n);
+  if (doc.meta.workers > 0) {
+    run_name += " pool W=" + std::to_string(doc.meta.workers);
+  }
+  process_args.set("name", JsonValue(run_name));
   process_meta.set("args", std::move(process_args));
   events.push_back(std::move(process_meta));
+
+  // Pool runs map one tid per worker; handler entries carry the handling
+  // process in `link`, so each slice is named for its process — adjacent
+  // slices on a worker lane get per-process colors in the viewer.
+  const bool pool = doc.meta.workers > 0;
+  auto handler_name = [&](const char* base, const ProbeEntry& e) {
+    if (pool && e.link != kNoLane && e.link != kControllerLane) {
+      return std::string(base) + " p" + std::to_string(e.link);
+    }
+    return std::string(base);
+  };
 
   for (const ThreadProbeLog& log : doc.threads) {
     JsonValue thread_meta = JsonValue::object();
@@ -431,7 +469,7 @@ JsonValue runtime_probe_chrome_json(const RuntimeProbeDoc& doc) {
     thread_meta.set("pid", JsonValue(std::uint64_t{1}));
     thread_meta.set("tid", JsonValue(std::uint64_t{log.thread}));
     JsonValue args = JsonValue::object();
-    args.set("name", JsonValue(lane_name(log.thread)));
+    args.set("name", JsonValue(lane_name(log.thread, doc.meta.workers)));
     thread_meta.set("args", std::move(args));
     events.push_back(std::move(thread_meta));
 
@@ -439,13 +477,16 @@ JsonValue runtime_probe_chrome_json(const RuntimeProbeDoc& doc) {
     for (const ProbeEntry& e : log.entries) {
       switch (e.kind) {
         case ProbeKind::kHandlerMessage:
-          events.push_back(chrome_slice("h:msg", tid, e.t_ns, e.value));
+          events.push_back(
+              chrome_slice(handler_name("h:msg", e), tid, e.t_ns, e.value));
           break;
         case ProbeKind::kHandlerControl:
-          events.push_back(chrome_slice("h:ctl", tid, e.t_ns, e.value));
+          events.push_back(
+              chrome_slice(handler_name("h:ctl", e), tid, e.t_ns, e.value));
           break;
         case ProbeKind::kHandlerTimer:
-          events.push_back(chrome_slice("h:timer", tid, e.t_ns, e.value));
+          events.push_back(
+              chrome_slice(handler_name("h:timer", e), tid, e.t_ns, e.value));
           break;
         case ProbeKind::kParked:
           events.push_back(chrome_slice("parked", tid, e.t_ns, e.value));
@@ -466,6 +507,9 @@ JsonValue runtime_probe_chrome_json(const RuntimeProbeDoc& doc) {
           break;
         case ProbeKind::kTimerFire:
           events.push_back(chrome_instant("timer-fire", tid, e.t_ns));
+          break;
+        case ProbeKind::kHandoff:
+          events.push_back(chrome_instant("handoff", tid, e.t_ns));
           break;
         default:
           break;

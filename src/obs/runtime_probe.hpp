@@ -43,8 +43,11 @@
 namespace dynvote::obs {
 
 /// Version stamped into runtime_probes_json(); bump on any incompatible
-/// change to the probe-document shape.
-inline constexpr int kRuntimeProbeSchemaVersion = 1;
+/// change to the probe-document shape. v2: pool-scheduler kinds
+/// (batch / run_queue / handoff), `workers` in the meta (0 = one lane
+/// per process, >0 = per-worker lanes with handler entries stamping the
+/// handling process in `link`).
+inline constexpr int kRuntimeProbeSchemaVersion = 2;
 
 /// `link` value for "the controller lane" (pushes from / pops of the
 /// control queue) and for entries with no peer at all (parks, timers).
@@ -67,6 +70,13 @@ enum class ProbeKind : std::uint8_t {
   kHandlerMessage,  // t = begin, value = handler duration ns
   kHandlerControl,  // t = begin, value = handler duration ns
   kHandlerTimer,    // t = begin, value = duration of a firing advance()
+  // Pool-scheduler kinds (per-worker lanes; schema v2):
+  kBatch,           // one batched inbox drain; value = batch size,
+                    // link = source lane (sender / source worker)
+  kRunQueue,        // local run-queue sample; value = depth after a
+                    // same-worker fast-path enqueue
+  kHandoff,         // cross-worker push; value = ring depth after push,
+                    // link = destination worker
 };
 
 [[nodiscard]] std::string_view to_string(ProbeKind kind);
@@ -196,6 +206,10 @@ struct RuntimeProbeMeta {
   std::string protocol;
   std::uint32_t n = 0;
   std::uint64_t wheel_tick_us = 0;
+  /// 0: thread-per-process backend, one lane per process. >0: pool
+  /// backend with this many workers — lanes are workers, and handler
+  /// entries carry the handling process's index in `link`.
+  std::uint32_t workers = 0;
 };
 
 /// The schema-versioned document `dvtrace runtime` consumes:

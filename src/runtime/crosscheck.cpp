@@ -150,9 +150,43 @@ std::vector<ScenarioStep> make_scenario(std::uint32_t n, std::uint64_t seed,
   return script;
 }
 
+namespace {
+
+/// One wall-clock execution of the script; returns its transcript and
+/// folds its per-step C1 checks into `c1_clean`.
+std::string run_fleet(FleetOptions options,
+                      const std::vector<ScenarioStep>& script,
+                      bool& c1_clean) {
+  RuntimeFleet fleet(std::move(options));
+  fleet.start();
+  c1_clean &= RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
+  for (const ScenarioStep& step : script) {
+    switch (step.kind) {
+      case ScenarioStep::Kind::kPartition:
+        fleet.partition(step.groups);
+        break;
+      case ScenarioStep::Kind::kMerge:
+        fleet.merge();
+        break;
+      case ScenarioStep::Kind::kCrash:
+        fleet.crash(step.p);
+        break;
+      case ScenarioStep::Kind::kRecover:
+        fleet.recover(step.p);
+        break;
+    }
+    c1_clean &= RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
+  }
+  fleet.stop();
+  return fleet.outcome_summary();
+}
+
+}  // namespace
+
 CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
                               std::uint64_t seed, std::size_t steps,
-                              bool probes) {
+                              bool probes,
+                              const std::vector<std::uint32_t>& pool_workers) {
   ensure(deterministic_outcome(kind),
          std::string("cross-check does not cover protocol kind ") +
              dynvote::to_string(kind));
@@ -192,40 +226,41 @@ CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
     result.sim_digest = fnv1a64(result.sim_summary);
   }
 
-  {  // runtime run, same script
+  {  // thread-per-process run, same script
     FleetOptions options;
     options.kind = kind;
     options.n = n;
     options.runtime.probes = probes;
-    RuntimeFleet fleet(options);
-    fleet.start();
-    result.c1_clean &=
-        RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
-    for (const ScenarioStep& step : script) {
-      switch (step.kind) {
-        case ScenarioStep::Kind::kPartition:
-          fleet.partition(step.groups);
-          break;
-        case ScenarioStep::Kind::kMerge:
-          fleet.merge();
-          break;
-        case ScenarioStep::Kind::kCrash:
-          fleet.crash(step.p);
-          break;
-        case ScenarioStep::Kind::kRecover:
-          fleet.recover(step.p);
-          break;
-      }
-      result.c1_clean &=
-          RuntimeFleet::distinct_primaries(fleet.probe()) <= 1;
-    }
-    fleet.stop();
-    result.runtime_summary = fleet.outcome_summary();
-    result.runtime_digest = fleet.outcome_digest();
+    result.runtime_summary = run_fleet(std::move(options), script,
+                                       result.c1_clean);
+    result.runtime_digest = fnv1a64(result.runtime_summary);
   }
 
-  result.digests_equal = result.sim_digest == result.runtime_digest &&
-                         result.sim_summary == result.runtime_summary;
+  bool all_equal = result.sim_digest == result.runtime_digest &&
+                   result.sim_summary == result.runtime_summary;
+
+  // Pool runs, same script, once per worker count: the M:N scheduler
+  // must reproduce the exact transcript at ANY W.
+  for (const std::uint32_t workers : pool_workers) {
+    FleetOptions options;
+    options.kind = kind;
+    options.n = n;
+    options.runtime.probes = probes;
+    options.backend = RuntimeBackend::kPool;
+    options.workers = workers;
+    const std::string summary = run_fleet(std::move(options), script,
+                                          result.c1_clean);
+    const std::uint64_t digest = fnv1a64(summary);
+    result.pool.push_back(PoolCheck{workers, digest});
+    if (summary != result.sim_summary || digest != result.sim_digest) {
+      all_equal = false;
+      if (result.pool_divergent_summary.empty()) {
+        result.pool_divergent_summary = summary;
+      }
+    }
+  }
+
+  result.digests_equal = all_equal;
   return result;
 }
 

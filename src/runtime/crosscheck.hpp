@@ -1,4 +1,4 @@
-// Cross-check harness: the DES as oracle for the thread runtime.
+// Cross-check harness: the DES as oracle for the wall-clock runtimes.
 //
 // The argument that makes the comparison sound: the session protocols
 // wait for *all* view members in every phase, so a session's outcome
@@ -48,28 +48,44 @@ struct ScenarioStep {
                                                       std::uint64_t seed,
                                                       std::size_t steps);
 
+/// One pool-backend execution of the scenario at a given worker count.
+struct PoolCheck {
+  std::uint32_t workers = 0;
+  std::uint64_t digest = 0;
+};
+
 struct CrossCheckResult {
   std::uint64_t seed = 0;
   std::uint64_t sim_digest = 0;
   std::uint64_t runtime_digest = 0;
+  /// Pool-backend digests, one per requested worker count. Determinism
+  /// demands byte-identity at ANY W, so these must all equal the two
+  /// digests above.
+  std::vector<PoolCheck> pool;
+  /// True only when every backend agrees: DES == thread-per-process ==
+  /// pool at every requested worker count (summaries, not just hashes).
   bool digests_equal = false;
   /// C1 held (<= 1 distinct live primary session) at every quiescent
-  /// point of both executions.
+  /// point of every execution.
   bool c1_clean = false;
   /// Full transcripts, for diagnostics when digests diverge.
   std::string sim_summary;
   std::string runtime_summary;
+  /// First divergent pool transcript (empty when all pool runs agree).
+  std::string pool_divergent_summary;
 };
 
-/// Runs the seed's scenario on both backends and compares outcomes.
-/// Throws InvariantViolation for protocol kinds outside the
-/// deterministic-outcome allow-list. `probes` turns wall-clock probe
-/// rings on in the runtime fleet — outcomes must be identical either
-/// way, which is how the digest-neutrality of the probe layer is
-/// asserted (probes-on digest == probes-off digest == DES digest).
-[[nodiscard]] CrossCheckResult run_scenario(ProtocolKind kind, std::uint32_t n,
-                                            std::uint64_t seed,
-                                            std::size_t steps = 10,
-                                            bool probes = false);
+/// Runs the seed's scenario on every backend — the DES, the
+/// thread-per-process runtime, and the pool runtime once per entry of
+/// `pool_workers` — and compares outcomes. Throws InvariantViolation
+/// for protocol kinds outside the deterministic-outcome allow-list.
+/// `probes` turns wall-clock probe rings on in the runtime fleets —
+/// outcomes must be identical either way, which is how the
+/// digest-neutrality of the probe layer is asserted (probes-on digest
+/// == probes-off digest == DES digest).
+[[nodiscard]] CrossCheckResult run_scenario(
+    ProtocolKind kind, std::uint32_t n, std::uint64_t seed,
+    std::size_t steps = 10, bool probes = false,
+    const std::vector<std::uint32_t>& pool_workers = {1, 2, 4});
 
 }  // namespace dynvote::runtime

@@ -28,7 +28,12 @@ RuntimeFleet::RuntimeFleet(FleetOptions options)
   }
   for (ProcessId p : config_.core) ids.push_back(p);
 
-  transport_ = std::make_unique<ThreadTransport>(ids, options_.runtime);
+  if (options_.backend == RuntimeBackend::kPool) {
+    transport_ = std::make_unique<PoolTransport>(ids, options_.workers,
+                                                 options_.runtime);
+  } else {
+    transport_ = std::make_unique<ThreadTransport>(ids, options_.runtime);
+  }
   latest_members_.resize(ids.size());
   has_view_.resize(ids.size(), false);
   nodes_.reserve(ids.size());
@@ -129,36 +134,9 @@ std::vector<ProcessProbe> RuntimeFleet::probe() {
 }
 
 std::vector<obs::ThreadProbeLog> RuntimeFleet::probe_logs() {
-  if (!transport_->probes_enabled()) return {};
-  const auto& ids = transport_->processes();
-  std::vector<obs::ThreadProbeLog> logs(ids.size() + 1);
-  if (transport_->running()) {
-    // Each ring is copied on its owning thread; quiesce publishes the
-    // copies back to the controller.
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      obs::ThreadProbeLog& log = logs[i];
-      obs::ProbeRing* ring = transport_->probe_ring(ids[i]);
-      transport_->run_on(ids[i], [&log, ring] {
-        log.dropped = ring->dropped();
-        log.entries = ring->snapshot();
-      });
-    }
-    transport_->quiesce();
-  } else {
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      obs::ProbeRing* ring = transport_->probe_ring(ids[i]);
-      logs[i].dropped = ring->dropped();
-      logs[i].entries = ring->snapshot();
-    }
-  }
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    logs[i].thread = static_cast<std::uint32_t>(i);
-  }
-  obs::ProbeRing* controller = transport_->controller_probe_ring();
-  logs.back().thread = obs::kControllerLane;
-  logs.back().dropped = controller->dropped();
-  logs.back().entries = controller->snapshot();
-  return logs;
+  // Lane layout is backend-specific (process threads vs pool workers),
+  // so the transport owns the snapshot logic.
+  return transport_->snapshot_probe_logs();
 }
 
 std::size_t RuntimeFleet::distinct_primaries(

@@ -24,11 +24,19 @@
 #include <vector>
 
 #include "dv/service.hpp"
+#include "runtime/pool_transport.hpp"
+#include "runtime/runtime_transport.hpp"
 #include "runtime/thread_transport.hpp"
 #include "util/ids.hpp"
 #include "util/process_set.hpp"
 
 namespace dynvote::runtime {
+
+/// Which wall-clock execution engine backs the fleet.
+enum class RuntimeBackend : std::uint8_t {
+  kThreadPerProcess,  // ThreadTransport: one OS thread per process
+  kPool,              // PoolTransport: N processes over W workers
+};
 
 struct FleetOptions {
   ProtocolKind kind = ProtocolKind::kOptimized;
@@ -36,6 +44,10 @@ struct FleetOptions {
   std::uint32_t n = 5;
   DvConfig config;
   RuntimeOptions runtime;
+  RuntimeBackend backend = RuntimeBackend::kThreadPerProcess;
+  /// Pool worker count (kPool only); 0 = hardware_concurrency, always
+  /// clamped to [1, n].
+  std::uint32_t workers = 0;
 };
 
 /// One process's state as observed by probe(): read on the process's
@@ -73,10 +85,11 @@ class RuntimeFleet {
   /// Snapshot of every process's protocol state, in id order.
   [[nodiscard]] std::vector<ProcessProbe> probe();
 
-  /// Snapshot of every probe ring: one lane per process (thread = its
-  /// index, copied on its own thread via run_on + quiesce) plus the
-  /// controller lane (thread = obs::kControllerLane). Empty when the
-  /// fleet was built without runtime.probes.
+  /// Snapshot of every probe ring: one lane per execution thread (the
+  /// backend decides — process threads or pool workers; copied on the
+  /// owning thread via run_on + quiesce) plus the controller lane
+  /// (thread = obs::kControllerLane). Empty when the fleet was built
+  /// without runtime.probes.
   [[nodiscard]] std::vector<obs::ThreadProbeLog> probe_logs();
 
   /// Distinct primary sessions among live probed processes. C1 (total
@@ -94,7 +107,7 @@ class RuntimeFleet {
   /// FNV-1a 64 of outcome_summary().
   [[nodiscard]] std::uint64_t outcome_digest();
 
-  [[nodiscard]] ThreadTransport& transport() noexcept { return *transport_; }
+  [[nodiscard]] RuntimeTransport& transport() noexcept { return *transport_; }
   [[nodiscard]] const std::vector<ProcessId>& processes() const noexcept {
     return transport_->processes();
   }
@@ -109,7 +122,7 @@ class RuntimeFleet {
 
   FleetOptions options_;
   DvConfig config_;
-  std::unique_ptr<ThreadTransport> transport_;
+  std::unique_ptr<RuntimeTransport> transport_;
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;  // id order
   /// latest_scheduled_ mirror: the members of the last view announced to
   /// each process (persists across crashes, exactly like the oracle).

@@ -1,0 +1,279 @@
+// PoolTransport: the M:N real-time backend — N protocol processes
+// multiplexed over a fixed pool of W worker event loops.
+//
+// ThreadTransport (one OS thread per process) is the semantically
+// simplest wall-clock backend, but a thread per process caps fleets at
+// n≈32 runnable threads. This backend keeps the exact same
+// sim::Transport seam and sim::Network-mirroring semantics while
+// scheduling processes cooperatively:
+//
+//  * each worker owns a static shard of processes (index mod W — no
+//    migration, so every per-process structure stays single-threaded),
+//    one merged timer wheel, and one probe lane;
+//  * cross-worker messages travel over W×W SPSC rings (one per ordered
+//    worker pair — SPSC holds because a process never leaves its
+//    worker, and per-process-pair FIFO is preserved because all p→q
+//    traffic shares the single worker(p)→worker(q) ring);
+//  * same-worker messages short-circuit to a plain deque run queue:
+//    zero atomics on the hot path — no ring cursors, no inflight
+//    counter, no eventcount bump;
+//  * inbound rings are drained in batches (SpscQueue::pop_bulk), so a
+//    burst costs one acquire refresh + one cursor publish + one wakeup
+//    instead of a pair of fences per message.
+//
+// Backpressure without deadlock: a full cross-worker ring never blocks
+// the sender (two workers spinning on each other's full rings would
+// deadlock). Instead the item goes to a per-destination spill deque,
+// flushed FIFO at the top of every loop iteration; once a destination
+// has spilled items, new sends to it append behind them, preserving
+// order. A worker with pending spill parks bounded (it must retry the
+// flush; ring drains are not notified back to the producer).
+//
+// Quiescence: cross-worker and control items are counted in a global
+// inflight counter (++ before push, -- after the handler). Local-queue
+// items are deliberately NOT counted (the fast path stays atomic-free);
+// soundness comes from a per-worker status word — odd while the loop
+// may hold or produce local work, incremented to even only after a scan
+// found nothing. The controller's quiesce() is a double-read: statuses
+// all even, inflight zero, statuses unchanged. Any work that existed at
+// the first read either shows in inflight (ring/control items) or
+// forces its worker odd / onto a new status value (local items) before
+// the second read.
+//
+// Determinism: for the protocols whose phase structure waits on ALL
+// view members (the cross-check allow-list), per-process outcome
+// transcripts are arrival-order independent, so outcome digests are
+// byte-identical at ANY worker count — and equal to ThreadTransport's
+// and the DES oracle's. runtime/crosscheck.hpp enforces all of this on
+// every seeded scenario.
+//
+// Threading contract: identical to ThreadTransport — Transport surface
+// from owning-worker handler context only, controller surface from the
+// single controlling thread, per-process observability state reachable
+// only via run_on + quiesce or after the join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "membership/view.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_probe.hpp"
+#include "obs/trace.hpp"
+#include "runtime/eventcount.hpp"
+#include "runtime/runtime_transport.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/thread_transport.hpp"  // RuntimeOptions
+#include "runtime/timer_wheel.hpp"
+#include "sim/node.hpp"
+#include "sim/stable_storage.hpp"
+#include "sim/transport.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote::runtime {
+
+class PoolTransport final : public RuntimeTransport {
+ public:
+  /// `workers` = 0 picks hardware_concurrency; the count is always
+  /// clamped to [1, n] (more workers than processes would idle).
+  PoolTransport(const std::vector<ProcessId>& processes,
+                std::uint32_t workers, RuntimeOptions options = {});
+  ~PoolTransport() override;
+
+  PoolTransport(const PoolTransport&) = delete;
+  PoolTransport& operator=(const PoolTransport&) = delete;
+
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  // -- Transport surface (worker-thread side) -------------------------------
+
+  void send(sim::Envelope env) override;
+  [[nodiscard]] SimTime now() const override;
+  sim::TimerToken schedule_timer(ProcessId p, SimTime delay,
+                                 sim::TimerAction action) override;
+  bool cancel_timer(ProcessId p, sim::TimerToken token) override;
+  [[nodiscard]] sim::StableStorage& storage(ProcessId p) override;
+  [[nodiscard]] obs::TraceSink& trace(ProcessId p) override;
+  [[nodiscard]] obs::MetricsRegistry& metrics(ProcessId p) override;
+  std::uint64_t lamport_tick(ProcessId p) override;
+  [[nodiscard]] std::uint64_t last_topology_eid(ProcessId p) const override;
+  void log(ProcessId p, LogLevel level, const std::string& message) override;
+
+  // -- controller surface ---------------------------------------------------
+
+  void set_node(sim::Node* node) override;
+  void start() override;
+  void stop_and_join() override;
+  [[nodiscard]] bool running() const noexcept override { return running_; }
+
+  void set_components(const std::vector<ProcessSet>& groups) override;
+  void merge_all() override;
+  void crash(ProcessId p) override;
+  void recover(ProcessId p) override;
+  [[nodiscard]] bool alive(ProcessId p) const override;
+  [[nodiscard]] std::vector<ProcessSet> live_components() const override;
+
+  void post_view(const View& view) override;
+  void run_on(ProcessId p, sim::TimerAction fn) override;
+  void quiesce() override;
+
+  [[nodiscard]] const std::vector<ProcessId>& processes()
+      const noexcept override {
+    return ids_;
+  }
+
+  // -- probe surface --------------------------------------------------------
+
+  [[nodiscard]] bool probes_enabled() const noexcept override {
+    return options_.probes;
+  }
+  /// One lane per worker.
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return workers_.size();
+  }
+  [[nodiscard]] std::uint32_t lane_of(ProcessId p) const override {
+    return slot(p).worker;
+  }
+  [[nodiscard]] std::vector<obs::ThreadProbeLog> snapshot_probe_logs()
+      override;
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count());
+  }
+
+ private:
+  struct ControlItem {
+    enum class Kind : std::uint8_t { kNone, kView, kCrash, kRecover, kRun };
+    Kind kind = Kind::kNone;
+    ProcessId target;     // the process this item addresses
+    View view;            // kView
+    sim::TimerAction fn;  // kRun
+    std::uint64_t sent_ns = 0;  // push timestamp, 0 unless probes are on
+  };
+
+  struct PoolItem {
+    sim::Envelope env;
+    std::uint64_t epoch = 0;    // link epoch at send
+    std::uint64_t sent_ns = 0;  // enqueue timestamp, 0 unless probes are on
+  };
+
+  /// One protocol process: everything single-threaded on its worker
+  /// except the controller-side bookkeeping at the bottom.
+  struct Slot {
+    ProcessId id;
+    std::size_t index = 0;     // global index (pair_state row)
+    std::uint32_t worker = 0;  // static shard assignment (index % W)
+    sim::Node* node = nullptr;
+    obs::TraceSink trace;
+    obs::MetricsRegistry metrics;
+    sim::StableStorage storage;
+    Logger logger;
+    std::uint64_t lamport = 0;        // worker-owned
+    std::uint64_t last_topo_eid = 0;  // worker-owned
+    /// Controller-side bookkeeping (controller thread only).
+    std::uint32_t component = 0;
+    bool ctl_alive = true;
+
+    Slot(ProcessId pid, std::size_t idx, std::uint32_t w,
+         const RuntimeOptions& options);
+  };
+
+  /// One event loop. Fields below `thread` are worker-owned unless
+  /// noted; the controller reads `status` for the quiesce double-read.
+  struct Worker {
+    std::uint32_t index = 0;
+    std::thread thread;
+    RuntimeEventcount work;
+    TimerWheel wheel;
+    std::unique_ptr<obs::ProbeRing> probe;
+    /// Wall-clock stamp of the latest bump aimed at this worker (probes
+    /// only; relaxed — feeds a latency estimate, not ordering).
+    std::atomic<std::uint64_t> notify_ns{0};
+    /// Quiesce word: odd = the loop may hold or produce local work,
+    /// even = parked after a scan that found nothing. Every transition
+    /// increments, so the controller's double-read catches any activity
+    /// between its two looks.
+    std::atomic<std::uint64_t> status{1};
+    /// Items handled since start (single writer: this worker; relaxed).
+    /// quiesce() re-arms its stuck-handler timeout while this advances,
+    /// so the timeout measures stall, not total work: a large fleet
+    /// grinding through an O(n^2)-message formation on few cores is
+    /// progress, a handler spinning forever is not.
+    std::atomic<std::uint64_t> progress{0};
+    std::unique_ptr<SpscQueue<ControlItem>> control;
+    /// Same-worker fast path: plain FIFO, zero atomics.
+    std::deque<PoolItem> local;
+    /// Per-destination-worker overflow for full cross rings (the
+    /// no-deadlock guarantee: senders never block).
+    std::vector<std::deque<PoolItem>> spill;
+    std::size_t spilled = 0;  // total items across spill deques
+    /// pop_bulk scratch, reused so the steady-state drain allocates
+    /// nothing.
+    std::vector<PoolItem> batch;
+    /// Global indices of the slots this worker owns, in id order.
+    std::vector<std::size_t> owned;
+
+    Worker(std::uint32_t idx, std::uint32_t num_workers,
+           const RuntimeOptions& options, std::size_t control_capacity);
+  };
+
+  [[nodiscard]] Slot& slot(ProcessId p);
+  [[nodiscard]] const Slot& slot(ProcessId p) const;
+  [[nodiscard]] std::size_t index_of(ProcessId p) const;
+
+  /// The worker(src)→worker(dst) data ring.
+  [[nodiscard]] SpscQueue<PoolItem>& ring(std::uint32_t src,
+                                          std::uint32_t dst) {
+    return *rings_[src * workers_.size() + dst];
+  }
+
+  [[nodiscard]] std::atomic<std::uint64_t>& pair_state(std::size_t a,
+                                                       std::size_t b) {
+    return pair_state_[a * ids_.size() + b];
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>& pair_state(
+      std::size_t a, std::size_t b) const {
+    return pair_state_[a * ids_.size() + b];
+  }
+  void refresh_connectivity();
+
+  void post_control(ProcessId p, ControlItem item);
+  void bump_work(Worker& target);
+
+  void worker_main(Worker& me);
+  /// Pushes as much pending spill as the rings accept; true if any
+  /// item moved.
+  bool flush_spills(Worker& me);
+  void handle_control(Worker& me, ControlItem& item);
+  void handle_message(Worker& me, PoolItem& item, std::uint16_t source_lane);
+
+  RuntimeOptions options_;
+  std::vector<ProcessId> ids_;
+  /// (id, index) sorted by id — O(log n) lookup on the send path (the
+  /// thread backend's linear scan is fine at n≤32; at n=1024 it is not).
+  std::vector<std::pair<ProcessId, std::size_t>> lookup_;
+  std::vector<std::unique_ptr<Slot>> slots_;    // stable addresses, id order
+  std::vector<std::unique_ptr<Worker>> workers_;  // stable addresses
+  std::vector<std::unique_ptr<SpscQueue<PoolItem>>> rings_;  // W×W
+  std::unique_ptr<obs::ProbeRing> controller_probe_;
+  std::vector<std::atomic<std::uint64_t>> pair_state_;
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  bool joined_ = false;
+  std::uint32_t next_component_ = 1;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace dynvote::runtime

@@ -1,0 +1,105 @@
+// RuntimeTransport: the controller surface shared by the wall-clock
+// backends.
+//
+// sim::Transport is the surface a *protocol node* sees; a real-time
+// backend additionally needs a controller surface — lifecycle, topology
+// verbs mirroring sim::Network, the quiesce barrier, and probe-ring
+// snapshots. Two implementations exist:
+//
+//  * runtime::ThreadTransport — one OS thread per process (the original
+//    backend; precise per-process lanes, caps out near n≈32 of runnable
+//    threads);
+//  * runtime::PoolTransport — M:N event loops: N processes multiplexed
+//    over a fixed pool of W workers (four-digit n in wall-clock).
+//
+// RuntimeFleet drives either through this interface; the cross-check
+// harness holds both (and the DES) to identical outcome digests.
+//
+// Threading contract: everything below is controller-thread only, with
+// the same rules the concrete transports document — topology verbs at
+// quiescence, probe snapshots via the internal run_on + quiesce hop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "membership/view.hpp"
+#include "obs/runtime_probe.hpp"
+#include "sim/transport.hpp"
+#include "util/ids.hpp"
+#include "util/process_set.hpp"
+
+namespace dynvote::sim {
+class Node;
+}  // namespace dynvote::sim
+
+namespace dynvote::runtime {
+
+class RuntimeTransport : public sim::Transport {
+ public:
+  // -- lifecycle ------------------------------------------------------------
+
+  /// Attaches the node that runs in `node->id()`'s execution context.
+  /// All nodes must be attached before start(); borrowed, must outlive
+  /// stop.
+  virtual void set_node(sim::Node* node) = 0;
+
+  /// Spawns the backend's threads. One lifecycle per transport.
+  virtual void start() = 0;
+
+  /// Signals every thread to finish its remaining work and exit, then
+  /// joins them. Safe to call twice; destructors call it.
+  virtual void stop_and_join() = 0;
+
+  [[nodiscard]] virtual bool running() const noexcept = 0;
+
+  // -- topology (mirrors sim::Network; call at quiescence only) -------------
+
+  virtual void set_components(const std::vector<ProcessSet>& groups) = 0;
+  virtual void merge_all() = 0;
+  virtual void crash(ProcessId p) = 0;
+  virtual void recover(ProcessId p) = 0;
+  [[nodiscard]] virtual bool alive(ProcessId p) const = 0;
+  /// Components with dead members filtered out, sorted by smallest
+  /// member — the shape MembershipOracle consumes.
+  [[nodiscard]] virtual std::vector<ProcessSet> live_components() const = 0;
+
+  /// Enqueues deliver_view(view) in every member's execution context.
+  virtual void post_view(const View& view) = 0;
+
+  /// Runs `fn` in p's execution context (state probes; effects are
+  /// visible to the controller after the next quiesce()).
+  virtual void run_on(ProcessId p, sim::TimerAction fn) = 0;
+
+  /// Blocks until no message, control item or handler is in flight
+  /// anywhere — the real-time analogue of the simulator's settle().
+  virtual void quiesce() = 0;
+
+  [[nodiscard]] virtual const std::vector<ProcessId>& processes()
+      const noexcept = 0;
+
+  // -- probe surface --------------------------------------------------------
+
+  [[nodiscard]] virtual bool probes_enabled() const noexcept = 0;
+
+  /// Number of execution lanes (threads) excluding the controller: n for
+  /// the thread backend, W for the pool.
+  [[nodiscard]] virtual std::size_t lanes() const noexcept = 0;
+
+  /// The probe lane that records p's handlers: p's own index in the
+  /// thread backend, p's worker in the pool.
+  [[nodiscard]] virtual std::uint32_t lane_of(ProcessId p) const = 0;
+
+  /// Snapshot of every probe ring: one log per lane (thread = lane
+  /// index, copied in the owning thread's context via run_on + quiesce
+  /// while running) plus the controller lane (thread =
+  /// obs::kControllerLane). Empty when probes are off.
+  [[nodiscard]] virtual std::vector<obs::ThreadProbeLog>
+  snapshot_probe_logs() = 0;
+
+  /// Nanoseconds since transport start — the probe timestamp clock,
+  /// 1000x finer than now() on the same epoch.
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+};
+
+}  // namespace dynvote::runtime

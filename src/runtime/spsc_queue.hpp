@@ -81,6 +81,30 @@ class SpscQueue {
     return true;
   }
 
+  /// Consumer side, batched: moves up to `max` items into `out`
+  /// (appended, FIFO order preserved) and returns how many. The whole
+  /// batch costs at most one acquire refresh of the producer cursor and
+  /// exactly one release store of the consumer cursor — the per-item
+  /// cost of a burst drain collapses to a plain move. Drains only what
+  /// the one refresh saw: items pushed concurrently with the drain are
+  /// picked up by the next call (their producer bumps the eventcount,
+  /// so no consumer goes idle on them).
+  std::size_t pop_bulk(std::vector<T>& out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::uint64_t head = head_.pos.load(std::memory_order_relaxed);
+    if (head == head_.cached_other) {
+      head_.cached_other = tail_.pos.load(std::memory_order_acquire);
+      if (head == head_.cached_other) return 0;
+    }
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(head_.cached_other - head, max));
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    head_.pos.store(head + count, std::memory_order_release);
+    return count;
+  }
+
   /// Consumer-side emptiness probe (exact for the consumer: it owns
   /// head, and a concurrent push can only make the queue less empty).
   [[nodiscard]] bool empty() const {

@@ -346,18 +346,16 @@ void ThreadTransport::bump_work(Proc& target) {
   if (target.probe) {
     target.notify_ns.store(now_ns(), std::memory_order_relaxed);
   }
-  target.work_seq.fetch_add(1, std::memory_order_release);
-  target.work_seq.notify_all();
+  target.work.notify();
 }
 
 void ThreadTransport::thread_main(Proc& me) {
   ControlItem control;
-  LinkItem item;
   obs::ProbeRing* const probe = me.probe.get();
   while (true) {
-    // Read the futex word before scanning: any push that lands after
+    // Read the eventcount before scanning: any push that lands after
     // this read also bumps the word, so the wait below cannot miss it.
-    const std::uint32_t seq = me.work_seq.load(std::memory_order_acquire);
+    const std::uint32_t seq = me.work.prepare();
     bool did_work = false;
     while (me.control->try_pop(control)) {
       if (probe) {
@@ -376,19 +374,28 @@ void ThreadTransport::thread_main(Proc& me) {
     }
     for (std::size_t si = 0; si < me.in.size(); ++si) {
       SpscQueue<LinkItem>& link = *me.in[si];
-      while (link.try_pop(item)) {
+      // Batched drain: the whole burst costs one acquire refresh and
+      // one cursor publish instead of a pair per message.
+      while (link.pop_bulk(me.batch, link.capacity()) > 0) {
         if (probe) {
-          const std::uint64_t t = now_ns();
-          probe->record(obs::ProbeKind::kLinkPop, t,
-                        t > item.sent_ns ? t - item.sent_ns : 0,
+          probe->record(obs::ProbeKind::kBatch, now_ns(), me.batch.size(),
                         static_cast<std::uint16_t>(si), me.trace.last_eid());
-          handle_message(me, item);
-          probe->record(obs::ProbeKind::kHandlerMessage, t, now_ns() - t,
-                        static_cast<std::uint16_t>(si), me.trace.last_eid());
-        } else {
-          handle_message(me, item);
         }
-        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        for (LinkItem& item : me.batch) {
+          if (probe) {
+            const std::uint64_t t = now_ns();
+            probe->record(obs::ProbeKind::kLinkPop, t,
+                          t > item.sent_ns ? t - item.sent_ns : 0,
+                          static_cast<std::uint16_t>(si), me.trace.last_eid());
+            handle_message(me, item);
+            probe->record(obs::ProbeKind::kHandlerMessage, t, now_ns() - t,
+                          static_cast<std::uint16_t>(si), me.trace.last_eid());
+          } else {
+            handle_message(me, item);
+          }
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        me.batch.clear();
         did_work = true;
       }
     }
@@ -409,13 +416,13 @@ void ThreadTransport::thread_main(Proc& me) {
 
     const auto deadline = me.wheel.next_deadline();
     if (deadline) {
-      // A pending timer bounds the nap; the futex word still wakes us
-      // early for messages (checked at the top of the loop).
-      const SimTime t = now();
-      if (*deadline > t) {
+      // A pending timer bounds the nap; the eventcount still wakes us
+      // early for messages (checked at the top of the loop). wait_until
+      // re-sizes every sleep slice from the current clock, so a wake
+      // close to the deadline cannot re-park for the full slice cap.
+      if (*deadline > now()) {
         const std::uint64_t nap_start = probe ? now_ns() : 0;
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(std::min<SimTime>(*deadline - t, 200)));
+        me.work.wait_until(seq, *deadline, [this] { return now(); });
         if (probe) {
           // Split the nap at the deadline: time before it is parked,
           // time past it is slop the timer's consumer will observe.
@@ -442,7 +449,7 @@ void ThreadTransport::thread_main(Proc& me) {
       // Fully idle: park on the futex until a producer bumps the word.
       if (probe) {
         const std::uint64_t park_start = now_ns();
-        me.work_seq.wait(seq, std::memory_order_acquire);
+        me.work.wait(seq);
         const std::uint64_t wake_ns = now_ns();
         probe->record(obs::ProbeKind::kParked, park_start,
                       wake_ns - park_start, obs::kNoLane, me.trace.last_eid());
@@ -455,10 +462,40 @@ void ThreadTransport::thread_main(Proc& me) {
                         obs::kNoLane, me.trace.last_eid());
         }
       } else {
-        me.work_seq.wait(seq, std::memory_order_acquire);
+        me.work.wait(seq);
       }
     }
   }
+}
+
+std::vector<obs::ThreadProbeLog> ThreadTransport::snapshot_probe_logs() {
+  if (!options_.probes) return {};
+  std::vector<obs::ThreadProbeLog> logs(ids_.size() + 1);
+  if (running_) {
+    // Each ring is copied on its owning thread; quiesce publishes the
+    // copies back to the controller.
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      obs::ThreadProbeLog& log = logs[i];
+      obs::ProbeRing* ring = procs_[i]->probe.get();
+      run_on(ids_[i], [&log, ring] {
+        log.dropped = ring->dropped();
+        log.entries = ring->snapshot();
+      });
+    }
+    quiesce();
+  } else {
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      logs[i].dropped = procs_[i]->probe->dropped();
+      logs[i].entries = procs_[i]->probe->snapshot();
+    }
+  }
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    logs[i].thread = static_cast<std::uint32_t>(i);
+  }
+  logs.back().thread = obs::kControllerLane;
+  logs.back().dropped = controller_probe_->dropped();
+  logs.back().entries = controller_probe_->snapshot();
+  return logs;
 }
 
 void ThreadTransport::handle_control(Proc& me, ControlItem& item) {

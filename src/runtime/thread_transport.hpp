@@ -42,6 +42,8 @@
 #include "obs/metrics.hpp"
 #include "obs/runtime_probe.hpp"
 #include "obs/trace.hpp"
+#include "runtime/eventcount.hpp"
+#include "runtime/runtime_transport.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "runtime/timer_wheel.hpp"
 #include "sim/node.hpp"
@@ -83,7 +85,7 @@ struct RuntimeOptions {
   std::size_t probe_capacity = 1 << 13;
 };
 
-class ThreadTransport final : public sim::Transport {
+class ThreadTransport final : public RuntimeTransport {
  public:
   explicit ThreadTransport(const std::vector<ProcessId>& processes,
                            RuntimeOptions options = {});
@@ -110,53 +112,65 @@ class ThreadTransport final : public sim::Transport {
 
   /// Attaches the node that runs on `node->id()`'s thread. All nodes
   /// must be attached before start(); borrowed, must outlive stop.
-  void set_node(sim::Node* node);
+  void set_node(sim::Node* node) override;
 
   /// Spawns one thread per process. Idempotent start/stop is not
   /// supported: one lifecycle per transport.
-  void start();
+  void start() override;
 
   /// Signals every thread to finish its remaining work and exit, then
   /// joins them. Safe to call twice; the destructor calls it.
-  void stop_and_join();
+  void stop_and_join() override;
 
-  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] bool running() const noexcept override { return running_; }
 
   /// Topology mirrors of sim::Network (call at quiescence only).
-  void set_components(const std::vector<ProcessSet>& groups);
-  void merge_all();
+  void set_components(const std::vector<ProcessSet>& groups) override;
+  void merge_all() override;
   /// Runs node->crash() on p's thread and disconnects p (epoch bumps
   /// lose its in-flight traffic), keeping its component assignment —
   /// exactly Simulator::crash + Network::set_alive(p, false).
-  void crash(ProcessId p);
+  void crash(ProcessId p) override;
   /// Runs node->recover() on p's thread and reconnects p as a fresh
   /// singleton component — Network::set_alive(p, true).
-  void recover(ProcessId p);
-  [[nodiscard]] bool alive(ProcessId p) const;
+  void recover(ProcessId p) override;
+  [[nodiscard]] bool alive(ProcessId p) const override;
   /// Components with their dead members filtered out, sorted by
   /// smallest member — the shape MembershipOracle consumes.
-  [[nodiscard]] std::vector<ProcessSet> live_components() const;
+  [[nodiscard]] std::vector<ProcessSet> live_components() const override;
 
   /// Enqueues deliver_view(view) on every member's thread (the runtime
   /// analogue of the oracle's per-member scheduled delivery).
-  void post_view(const View& view);
+  void post_view(const View& view) override;
 
   /// Runs `fn` on p's thread (state probes; effects are visible to the
   /// controller after the next quiesce()).
-  void run_on(ProcessId p, sim::TimerAction fn);
+  void run_on(ProcessId p, sim::TimerAction fn) override;
 
   /// Blocks until no message, control item or handler is in flight
   /// anywhere. With quiescent topology this is a global fixed point:
   /// handlers only run on queued work, so inflight == 0 is stable.
-  void quiesce();
+  void quiesce() override;
 
-  [[nodiscard]] const std::vector<ProcessId>& processes() const noexcept {
+  [[nodiscard]] const std::vector<ProcessId>& processes()
+      const noexcept override {
     return ids_;
   }
 
   // -- probe surface --------------------------------------------------------
 
-  [[nodiscard]] bool probes_enabled() const noexcept { return options_.probes; }
+  [[nodiscard]] bool probes_enabled() const noexcept override {
+    return options_.probes;
+  }
+  /// One lane per process thread.
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return ids_.size();
+  }
+  [[nodiscard]] std::uint32_t lane_of(ProcessId p) const override {
+    return static_cast<std::uint32_t>(index_of(p));
+  }
+  [[nodiscard]] std::vector<obs::ThreadProbeLog> snapshot_probe_logs()
+      override;
   /// p's probe ring (null when probes are off). The ring is written by
   /// p's thread: read it only via run_on + quiesce or after the join.
   [[nodiscard]] obs::ProbeRing* probe_ring(ProcessId p) {
@@ -170,7 +184,7 @@ class ThreadTransport final : public sim::Transport {
   }
   /// Nanoseconds since transport start — the probe timestamp clock,
   /// 1000x finer than now() on the same epoch.
-  [[nodiscard]] std::uint64_t now_ns() const {
+  [[nodiscard]] std::uint64_t now_ns() const override {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start_time_)
@@ -192,16 +206,16 @@ class ThreadTransport final : public sim::Transport {
     std::uint64_t sent_ns = 0;  // push timestamp, 0 unless probes are on
   };
 
-  /// Everything one process thread owns. The atomic work_seq is the
+  /// Everything one process thread owns. The eventcount is the
   /// thread's futex word: producers bump-and-notify after pushing,
-  /// the thread re-reads it before parking (eventcount pattern, no
+  /// the thread re-reads it before parking (runtime/eventcount.hpp; no
   /// mutex anywhere on the message path).
   struct Proc {
     ProcessId id;
     std::size_t index = 0;
     sim::Node* node = nullptr;
     std::thread thread;
-    std::atomic<std::uint32_t> work_seq{0};
+    RuntimeEventcount work;
     TimerWheel wheel;
     obs::TraceSink trace;
     obs::MetricsRegistry metrics;
@@ -219,6 +233,9 @@ class ThreadTransport final : public sim::Transport {
     std::unique_ptr<SpscQueue<ControlItem>> control;
     /// Inbound data links, indexed by sender slot.
     std::vector<std::unique_ptr<SpscQueue<LinkItem>>> in;
+    /// Batch-drain scratch for pop_bulk (thread-owned; reused so the
+    /// steady-state drain allocates nothing).
+    std::vector<LinkItem> batch;
     /// Controller-side bookkeeping (controller thread only).
     std::uint32_t component = 0;
     bool ctl_alive = true;

@@ -8,6 +8,7 @@
 // (tools/run_experiments.sh wires the Runtime* prefixes into its TSan
 // pass).
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 
 #include "obs/runtime_probe.hpp"
 #include "runtime/crosscheck.hpp"
+#include "runtime/eventcount.hpp"
 #include "runtime/fleet.hpp"
 #include "util/ensure.hpp"
 #include "util/json.hpp"
@@ -59,7 +61,8 @@ TEST(RuntimeProbe, KindStringsRoundTrip) {
         ProbeKind::kControlPush, ProbeKind::kControlPop, ProbeKind::kParked,
         ProbeKind::kTimerSlop, ProbeKind::kWakeup, ProbeKind::kTimerSchedule,
         ProbeKind::kTimerFire, ProbeKind::kHandlerMessage,
-        ProbeKind::kHandlerControl, ProbeKind::kHandlerTimer}) {
+        ProbeKind::kHandlerControl, ProbeKind::kHandlerTimer,
+        ProbeKind::kBatch, ProbeKind::kRunQueue, ProbeKind::kHandoff}) {
     EXPECT_EQ(probe_kind_from_string(to_string(kind)), kind);
   }
   EXPECT_THROW((void)probe_kind_from_string("no-such-kind"),
@@ -376,6 +379,65 @@ TEST(RuntimeEventcount, ChurnHasNoLostWakeupsAndBoundedLatency) {
   }
   EXPECT_GT(parks, 0u);
   EXPECT_GT(wakeups, 0u);
+}
+
+// The pure slice-sizing contract of a bounded park: the remainder to
+// the deadline, clamped by the cap, zero once the deadline has passed.
+TEST(RuntimeEventcount, NapSliceIsRemainderClampedByCap) {
+  using runtime::RuntimeEventcount;
+  // Far from the deadline: the cap rules.
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(0, 10'000),
+            RuntimeEventcount::kMaxNapSliceUs);
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(0, 1'000, /*cap_us=*/50), 50u);
+  // Near the deadline: only the remainder, never the cap.
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(900, 1'000), 100u);
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(999, 1'000, /*cap_us=*/50), 1u);
+  // At or past the deadline: no sleep at all.
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(1'000, 1'000), 0u);
+  EXPECT_EQ(RuntimeEventcount::nap_slice_us(2'000, 1'000), 0u);
+}
+
+// Regression test for the bounded-sleep bug: the transports used to
+// size each nap from a clock reading taken before the previous sleep,
+// so a spurious wake near a timer deadline re-parked for a full slice
+// past it. The fix recomputes the remaining budget from the CURRENT
+// clock on every iteration. With an owner clock that jumps straight to
+// the deadline after a few reads and a deliberately enormous slice cap,
+// the fixed implementation returns after microseconds of real sleep; an
+// implementation that reuses a stale budget sleeps out the cap.
+TEST(RuntimeEventcount, BoundedWaitRechecksDeadline) {
+  runtime::RuntimeEventcount ec;
+  const std::uint32_t seen = ec.prepare();
+  // Owner clock: 0, 100, ... then pinned past the 250us deadline. Every
+  // slice the fixed code requests is <= 150us of real sleep even though
+  // the cap would allow half a second.
+  std::uint64_t fake_now_us = 0;
+  const auto now_fn = [&fake_now_us] {
+    const std::uint64_t now = fake_now_us;
+    fake_now_us += 100;
+    return now;
+  };
+  const auto start = std::chrono::steady_clock::now();
+  ec.wait_until(seen, /*deadline_us=*/250, now_fn, /*cap_us=*/500'000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  // Requested sleeps total 450us; allow generous scheduler slack but
+  // stay far under the 500ms cap a stale-budget sleep would burn.
+  EXPECT_LT(elapsed_us, 250'000);
+  EXPECT_EQ(fake_now_us, 400u);  // reads at 0, 100, 200, 300(>deadline)
+
+  // And a moved sequence word short-circuits the park entirely: no
+  // clock reads, no sleep.
+  ec.notify();
+  std::uint64_t reads = 0;
+  ec.wait_until(seen, /*deadline_us=*/1'000'000,
+                [&reads] {
+                  ++reads;
+                  return std::uint64_t{0};
+                },
+                /*cap_us=*/500'000);
+  EXPECT_EQ(reads, 0u);
 }
 
 }  // namespace

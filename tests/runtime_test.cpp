@@ -117,6 +117,82 @@ TEST(RuntimeSpsc, TwoThreadStressKeepsOrderAndCount) {
   EXPECT_EQ(checksum, expected_checksum);
 }
 
+TEST(RuntimeSpsc, PopBulkKeepsFifoAcrossWrapsAndRespectsMax) {
+  SpscQueue<std::uint64_t> queue(4);
+  std::vector<std::uint64_t> drained;
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  Rng rng(11);
+  for (int round = 0; round < 10000; ++round) {
+    std::uint64_t pushes = rng.next_below(5);
+    while (pushes-- > 0 && queue.try_push(std::uint64_t(next_push))) {
+      ++next_push;
+    }
+    const std::size_t max = rng.next_below(5);
+    const std::size_t before = drained.size();
+    const std::size_t got = queue.pop_bulk(drained, max);
+    ASSERT_LE(got, max);
+    ASSERT_EQ(drained.size(), before + got);
+    // Appended in FIFO order, regardless of wrap alignment.
+    for (std::size_t i = before; i < drained.size(); ++i) {
+      ASSERT_EQ(drained[i], next_pop);
+      ++next_pop;
+    }
+  }
+  while (queue.pop_bulk(drained, 64) > 0) {
+  }
+  EXPECT_EQ(drained.size(), next_push);
+  for (std::uint64_t i = 0; i < next_push; ++i) ASSERT_EQ(drained[i], i);
+  EXPECT_TRUE(queue.empty());
+  // max = 0 is a no-op even with items queued.
+  ASSERT_TRUE(queue.try_push(7u));
+  EXPECT_EQ(queue.pop_bulk(drained, 0), 0u);
+  EXPECT_FALSE(queue.empty());
+}
+
+// Cross-thread bulk drain, as both transports use it: the consumer pulls
+// whole bursts while the producer spins on a tiny ring. Under TSan this
+// exercises pop_bulk's single cursor publish; in any build the sequence
+// check catches lost, duplicated or reordered items.
+TEST(RuntimeSpsc, PopBulkTwoThreadStressKeepsOrderAndCount) {
+  constexpr std::uint64_t kItems = 100000;
+  SpscQueue<std::uint64_t> queue(8);
+  std::atomic<bool> done{false};
+  std::uint64_t received = 0;
+  std::uint64_t checksum = 0;
+  std::thread consumer([&] {
+    std::vector<std::uint64_t> batch;
+    for (;;) {
+      batch.clear();
+      if (queue.pop_bulk(batch, queue.capacity()) > 0) {
+        for (const std::uint64_t item : batch) {
+          ASSERT_EQ(item, received);
+          ++received;
+          checksum += item * 2654435761u;
+        }
+      } else if (done.load(std::memory_order_acquire)) {
+        if (queue.pop_bulk(batch, queue.capacity()) == 0) break;
+        for (const std::uint64_t item : batch) {
+          ASSERT_EQ(item, received);
+          ++received;
+          checksum += item * 2654435761u;
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t expected_checksum = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!queue.try_push(std::uint64_t(i))) std::this_thread::yield();
+    expected_checksum += i * 2654435761u;
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(checksum, expected_checksum);
+}
+
 // -------------------------------------------------------------- timer wheel
 
 TEST(RuntimeWheel, FiresInDeadlineOrderAcrossSlots) {
@@ -300,7 +376,8 @@ TEST(RuntimeFleet, StopIsIdempotentAndSummariesAreStable) {
 // -------------------------------------------------------------- cross-check
 
 // The tentpole acceptance gate: the same seeded scenario, run through
-// the DES and through real threads, must produce identical outcome
+// the DES, through one thread per process, and through the M:N pool at
+// every requested worker count, must produce identical outcome
 // transcripts (views installed, sessions formed with numbers / members
 // / rounds, final states) — on every one of eight seeds, for both
 // paper protocols.
@@ -312,8 +389,16 @@ TEST(RuntimeCrossCheck, DigestsMatchOnEightSeeds) {
       EXPECT_TRUE(result.digests_equal)
           << to_string(kind) << " seed " << seed << "\n--- DES ---\n"
           << result.sim_summary << "--- runtime ---\n"
-          << result.runtime_summary;
+          << result.runtime_summary << "--- pool (divergent) ---\n"
+          << result.pool_divergent_summary;
       EXPECT_TRUE(result.c1_clean) << to_string(kind) << " seed " << seed;
+      // The default harness runs the pool at W ∈ {1, 2, 4}; every run
+      // must land on the DES digest exactly.
+      ASSERT_EQ(result.pool.size(), 3u);
+      for (const PoolCheck& check : result.pool) {
+        EXPECT_EQ(check.digest, result.sim_digest)
+            << to_string(kind) << " seed " << seed << " W=" << check.workers;
+      }
     }
   }
 }

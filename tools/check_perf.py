@@ -3,7 +3,7 @@
 
 Usage:
   tools/check_perf.py [--results DIR] [--baselines DIR]
-                      [--tolerance FRACTION] [--update]
+                      [--tolerance FRACTION] [--update] [--only BENCH]
 
 Every bench emits a machine-readable results/BENCH_<name>.json (see
 harness/bench_report.hpp). This script walks each baseline document and
@@ -25,6 +25,10 @@ the freshly generated one in lockstep:
     measured value is noisy by nature, so it is never compared against
     the baseline; the budget itself IS compared exactly, so a budget
     cannot loosen silently;
+  * symmetrically, a numeric leaf with a sibling "<key>_floor" is
+    *floor-gated*: the value must stay at or ABOVE the floor. Budgets
+    bound costs (latency, overhead); floors bound rates (throughput,
+    formed-quorums/sec), where lower is the regression direction;
   * machine-dependent context (google-benchmark's "context" block,
     pool_threads, dates) is skipped;
   * each recorded baseline carries a "host_fingerprint" block naming the
@@ -139,6 +143,7 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
                 report.mismatches.append(f"{path}.{key}: missing from current run")
                 continue
             budget_key = f"{key}_budget"
+            floor_key = f"{key}_floor"
             if budget_key in current and isinstance(
                     current[key], (int, float)) and not isinstance(
                     current[key], bool):
@@ -149,6 +154,15 @@ def compare(baseline, current, path: str, timing: bool, tolerance: float,
                     report.regressions.append(
                         f"{path}.{key}: {current[key]:g} over budget "
                         f"{current[budget_key]:g}")
+                continue
+            if floor_key in current and isinstance(
+                    current[key], (int, float)) and not isinstance(
+                    current[key], bool):
+                # Floor-gated: rates regress downward.
+                if current[key] < current[floor_key]:
+                    report.regressions.append(
+                        f"{path}.{key}: {current[key]:g} under floor "
+                        f"{current[floor_key]:g}")
                 continue
             compare(baseline[key], current[key], f"{path}.{key}",
                     timing or is_timing_key(key), tolerance, report,
@@ -209,19 +223,30 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="copy current results over the baselines instead "
                              "of comparing")
+    parser.add_argument("--only", metavar="BENCH", default=None,
+                        help="restrict to one bench by name (e.g. 'runtime' "
+                             "for BENCH_runtime.json); applies to compare, "
+                             "--update, and auto-record")
     args = parser.parse_args()
 
-    current_files = sorted(args.results.glob("BENCH_*.json"))
+    def selected(path: Path) -> bool:
+        return args.only is None or path.stem == f"BENCH_{args.only}"
+
+    current_files = [f for f in sorted(args.results.glob("BENCH_*.json"))
+                     if selected(f)]
     if args.update:
         for f in current_files:
             record_baseline(f, args.baselines / f.name)
             print(f"baseline updated: {args.baselines / f.name}")
         return 0
 
-    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    baseline_files = [f for f in sorted(args.baselines.glob("BENCH_*.json"))
+                      if selected(f)]
     if not baseline_files and not current_files:
         print(f"check_perf: no baselines in {args.baselines} and no results "
-              f"in {args.results}; run the benches first", file=sys.stderr)
+              f"in {args.results}"
+              + (f" matching --only {args.only}" if args.only else "")
+              + "; run the benches first", file=sys.stderr)
         return 2
 
     failed = False

@@ -29,10 +29,14 @@
 // check in run_experiments.sh).
 //
 // `runtime` takes the probe document bench_runtime exports (also not a
-// trace): the per-thread wall-clock probe rings of the thread-per-process
-// backend. `--top K` bounds the slowest-window drill-down and
+// trace): the wall-clock probe rings of a runtime backend — one lane
+// per process thread (thread-per-process) or one lane per worker (the
+// M:N pool, meta.workers > 0; the report adds a per-worker scheduler
+// table with batch-size histograms, run-queue depths, and handoff
+// counts). `--top K` bounds the slowest-window drill-down and
 // `--chrome FILE` writes a validated Chrome trace-event export of the
-// whole document (one tid per lane, async span per reconfiguration).
+// whole document (one tid per lane, async span per reconfiguration,
+// pool handler slices labeled with their handling process).
 //
 // Exit codes: 0 success, 1 a check failed (Theorem-1 bound exceeded, no
 // causal root, Chrome JSON invalid, missing expected post-mortem),
@@ -485,23 +489,33 @@ using dynvote::obs::ProbeKind;
 using dynvote::obs::ReconfigWindow;
 using dynvote::obs::RuntimeProbeDoc;
 
-std::string lane_name(std::uint32_t thread) {
-  return thread == dynvote::obs::kControllerLane
-             ? "ctl"
-             : "p" + std::to_string(thread);
+/// Lane naming follows the backend: "p<i>" process threads on the
+/// thread-per-process backend, "w<i>" workers on the M:N pool
+/// (meta.workers > 0), "ctl" for the controller either way.
+std::string lane_name(std::uint32_t thread, std::uint32_t workers) {
+  if (thread == dynvote::obs::kControllerLane) return "ctl";
+  return (workers > 0 ? "w" : "p") + std::to_string(thread);
 }
 
-/// One merged-timeline line. `value` is kind-specific: a queue depth for
-/// pushes, a nanosecond duration for everything else (see ProbeKind).
-std::string describe_probe(std::uint32_t thread, const ProbeEntry& e) {
+/// One merged-timeline line. `value` is kind-specific: a queue depth
+/// for pushes and run-queue entries, a batch size for batches, a
+/// nanosecond duration for everything else (see ProbeKind).
+std::string describe_probe(std::uint32_t thread, const ProbeEntry& e,
+                           std::uint32_t workers) {
   std::string out =
       "[" +
       dynvote::format_double(static_cast<double>(e.t_ns) / 1000.0, 1) +
-      "us] " + lane_name(thread) + " " + std::string(to_string(e.kind));
+      "us] " + lane_name(thread, workers) + " " +
+      std::string(to_string(e.kind));
   switch (e.kind) {
     case ProbeKind::kLinkPush:
     case ProbeKind::kControlPush:
+    case ProbeKind::kRunQueue:
+    case ProbeKind::kHandoff:
       out += " depth=" + std::to_string(e.value);
+      break;
+    case ProbeKind::kBatch:
+      out += " size=" + std::to_string(e.value);
       break;
     default:
       if (e.value != 0) {
@@ -515,10 +529,68 @@ std::string describe_probe(std::uint32_t thread, const ProbeEntry& e) {
   if (e.link == dynvote::obs::kControllerLane) {
     out += " link=ctl";
   } else if (e.link != dynvote::obs::kNoLane) {
+    // On the pool, handler entries link the HANDLING PROCESS (several
+    // share a worker lane); transfer entries link the peer lane.
     out += " link=" + std::to_string(e.link);
   }
   if (e.eid != 0) out += " <- #" + std::to_string(e.eid);
   return out;
+}
+
+/// Pool-only per-worker table: how well the M:N scheduler batches (the
+/// cross-ring batch-size distribution, as a compact power-of-two
+/// histogram), how deep the same-worker run queue gets, and how many
+/// cross-worker handoffs each worker pushed.
+void print_pool_lanes(const RuntimeProbeDoc& doc) {
+  dynvote::Table pool({"worker", "batches", "batch p50", "batch max",
+                       "batch size histogram", "runq p50", "runq max",
+                       "handoffs"});
+  for (const auto& lane : doc.threads) {
+    if (lane.thread == dynvote::obs::kControllerLane) continue;
+    dynvote::Summary batch;
+    dynvote::Summary runq;
+    std::uint64_t handoffs = 0;
+    // Power-of-two batch-size buckets: [1], [2], [3-4], [5-8], ...
+    std::vector<std::uint64_t> buckets;
+    for (const ProbeEntry& e : lane.entries) {
+      switch (e.kind) {
+        case ProbeKind::kBatch: {
+          batch.add(static_cast<double>(e.value));
+          std::size_t b = 0;
+          while ((1ull << b) < e.value) ++b;
+          if (buckets.size() <= b) buckets.resize(b + 1);
+          ++buckets[b];
+          break;
+        }
+        case ProbeKind::kRunQueue:
+          runq.add(static_cast<double>(e.value));
+          break;
+        case ProbeKind::kHandoff:
+          ++handoffs;
+          break;
+        default:
+          break;
+      }
+    }
+    std::string histogram;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) continue;
+      if (!histogram.empty()) histogram += " ";
+      histogram += "<=" + std::to_string(1ull << b) + ":" +
+                   std::to_string(buckets[b]);
+    }
+    pool.add_row(
+        {lane_name(lane.thread, doc.meta.workers),
+         std::to_string(static_cast<std::uint64_t>(batch.count())),
+         batch.empty() ? "-" : dynvote::format_double(batch.percentile(0.5), 0),
+         batch.empty() ? "-" : dynvote::format_double(batch.max(), 0),
+         histogram.empty() ? "-" : histogram,
+         runq.empty() ? "-" : dynvote::format_double(runq.percentile(0.5), 0),
+         runq.empty() ? "-" : dynvote::format_double(runq.max(), 0),
+         std::to_string(handoffs)});
+  }
+  std::cout << "pool scheduler (one lane per worker):\n"
+            << pool.to_string() << "\n";
 }
 
 int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
@@ -529,9 +601,16 @@ int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
     total_events += lane.entries.size();
     total_dropped += lane.dropped;
   }
+  const std::uint32_t workers = doc.meta.workers;
   std::cout << "runtime probes: protocol=" << doc.meta.protocol
-            << " n=" << doc.meta.n << " wheel_tick="
-            << doc.meta.wheel_tick_us << "us lanes=" << doc.threads.size()
+            << " n=" << doc.meta.n;
+  if (workers > 0) {
+    std::cout << " backend=pool workers=" << workers;
+  } else {
+    std::cout << " backend=thread-per-process";
+  }
+  std::cout << " wheel_tick=" << doc.meta.wheel_tick_us
+            << "us lanes=" << doc.threads.size()
             << " events=" << total_events;
   if (total_dropped != 0) {
     std::cout << " (TRUNCATED: " << total_dropped << " evicted)";
@@ -581,7 +660,7 @@ int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
       }
     }
     lanes.add_row(
-        {lane_name(lane.thread), std::to_string(lane.entries.size()),
+        {lane_name(lane.thread, workers), std::to_string(lane.entries.size()),
          std::to_string(lane.dropped), std::to_string(pushes),
          std::to_string(pops), std::to_string(failed), std::to_string(parks),
          dynvote::format_double(static_cast<double>(park_ns) / 1e6, 1),
@@ -592,8 +671,12 @@ int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
   }
   std::cout << lanes.to_string() << "\n";
 
+  // Pool documents get the scheduler's own table: batching quality,
+  // run-queue depths, handoff counts per worker.
+  if (workers > 0) print_pool_lanes(doc);
+
   // Phase breakdown per reconfiguration window, attributed on the
-  // critical (last-forming) thread by the bench.
+  // critical (last-forming) lane by the bench.
   const auto pct = [](std::uint64_t part, std::uint64_t wall) {
     return wall == 0 ? std::string("-")
                      : dynvote::format_double(
@@ -608,7 +691,7 @@ int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
   for (std::size_t i = 0; i < doc.reconfigs.size(); ++i) {
     const ReconfigWindow& w = doc.reconfigs[i];
     reconfigs.add_row(
-        {std::to_string(i), w.verb, lane_name(w.critical_thread),
+        {std::to_string(i), w.verb, lane_name(w.critical_thread, workers),
          dynvote::format_double(static_cast<double>(w.phases.wall_ns) / 1000.0,
                                 1),
          pct(w.phases.queued_ns, w.phases.wall_ns),
@@ -644,11 +727,12 @@ int cmd_runtime(const RuntimeProbeDoc& doc, std::size_t top,
               << slowest->verb << " wall="
               << dynvote::format_double(
                      static_cast<double>(slowest->phases.wall_ns) / 1000.0, 1)
-              << "us critical=" << lane_name(slowest->critical_thread)
+              << "us critical=" << lane_name(slowest->critical_thread, workers)
               << ", merged timeline (first " << shown << " of "
               << merged.size() << " events):\n";
     for (std::size_t i = 0; i < shown; ++i) {
-      std::cout << "  " << describe_probe(merged[i].first, merged[i].second)
+      std::cout << "  "
+                << describe_probe(merged[i].first, merged[i].second, workers)
                 << "\n";
     }
   }

@@ -135,7 +135,10 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   # thread-per-process runtime backend (RuntimeSpsc/Wheel/Fleet plus the
   # DES cross-check, which drives real thread fleets; RuntimeProbe and
   # RuntimeEventcount add the wall-clock probe rings and the eventcount
-  # wakeup stress across 4+ threads). TSan needs its own build tree.
+  # wakeup stress across 4+ threads; RuntimePool runs the M:N pool
+  # scheduler — SPSC rings, spill deques, quiesce status words — at
+  # W∈{1,2,4} including a churn stress that must stay byte-identical
+  # across worker counts). TSan needs its own build tree.
   echo "== sweep-pool + persistence + runtime tests under TSan (build-tsan/)"
   if [ -f build-tsan/CMakeCache.txt ]; then
     cmake -B build-tsan -DDYNVOTE_SANITIZE=thread
@@ -144,7 +147,7 @@ if [ "${DYNVOTE_SKIP_SANITIZERS:-0}" != "1" ]; then
   fi
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.|RuntimeSpsc\.|RuntimeWheel\.|RuntimeFleet\.|RuntimeCrossCheck\.|RuntimeProbe\.|RuntimeEventcount\.)'
+    -R '^(Sweep\.|SweepDeterminism\.|SweepShards\.|SweepTelemetry\.|StateDelta\.|Checkpoint\.|WalPersistence\.|ProtocolPersistence\.|Seeds/PersistenceChurnProperty\.|RuntimeSpsc\.|RuntimeWheel\.|RuntimeFleet\.|RuntimeCrossCheck\.|RuntimeProbe\.|RuntimeEventcount\.|RuntimePool\.)'
 fi
 
 echo "== check_perf (results/ vs results/baselines/)"
